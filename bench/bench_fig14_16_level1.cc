@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figures 14, 15, 16: BLAS level-1 heatmaps — runtime of each reference
+ * library model divided by Exo 2's, on AVX2 and AVX512, over
+ * power-of-4 size buckets. Higher is better for Exo 2; the paper's
+ * shape is near-1.0 parity at large N and >1 wins at small N.
+ */
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+
+using namespace exo2;
+using baselines::RefLib;
+
+static void
+run_machine(const Machine& m, int max_pow)
+{
+    std::vector<int64_t> sizes;
+    std::vector<std::string> cols;
+    for (int p = 0; p <= max_pow; p++) {
+        sizes.push_back(1ll << (2 * p));
+        cols.push_back("4^" + std::to_string(p));
+    }
+    for (RefLib lib : {RefLib::OpenBLAS, RefLib::MKL, RefLib::BLIS}) {
+        std::vector<std::string> rows;
+        std::vector<std::vector<double>> cells;
+        for (const auto& k : kernels::blas_level1()) {
+            ProcPtr ours = baselines::scheduled_level1(k, m, RefLib::Exo2);
+            ProcPtr ref = baselines::scheduled_level1(k, m, lib);
+            std::vector<double> row;
+            for (int64_t n : sizes) {
+                double a = bench::cycles(ref, {{"n", n}},
+                                         baselines::cost_config_for(lib));
+                double b = bench::cycles(
+                    ours, {{"n", n}},
+                    baselines::cost_config_for(RefLib::Exo2));
+                row.push_back(b > 0 ? a / b : 1.0);
+            }
+            rows.push_back(k.name);
+            cells.push_back(std::move(row));
+        }
+        bench::print_heatmap("Runtime of " + baselines::ref_lib_name(lib) +
+                                 " / Exo 2 (" + m.name() + "), level 1",
+                             rows, cols, cells);
+    }
+}
+
+int
+main()
+{
+    std::printf("Figures 14/15/16: BLAS level-1 vs reference models\n");
+    run_machine(machine_avx2(), 8);
+    run_machine(machine_avx512(), 8);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figures 17, 18, 19: BLAS level-2 heatmaps — reference-model runtime
+ * over Exo 2's across size buckets (paper: 10^0..10^5; we sweep
+ * 10^0..10^2.5 — the crossover to parity falls inside this range).
+ */
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+
+using namespace exo2;
+using baselines::RefLib;
+
+static std::map<std::string, int64_t>
+sizes_for(const kernels::KernelDef& k, int64_t n)
+{
+    std::map<std::string, int64_t> out;
+    if (k.proc->find_arg("M"))
+        out["M"] = n;
+    if (k.proc->find_arg("N"))
+        out["N"] = n;
+    return out;
+}
+
+static bool
+in_subset(const std::string& name)
+{
+    static const char* subset[] = {"sgemv_n", "sgemv_t", "sger",
+                                   "ssymv_l", "ssyr_l",  "ssyr2_l",
+                                   "strmv_lnn", "strmv_unn", "strsv_lnn",
+                                   "dgemv_n", "dtrmv_lnn", "dtrsv_lnn"};
+    for (const char* n : subset) {
+        if (name == n)
+            return true;
+    }
+    return false;
+}
+
+static void
+run_machine(const Machine& m, bool full)
+{
+    std::vector<int64_t> sizes{1, 10, 100, 316};
+    std::vector<std::string> cols{"10^0", "10^1", "10^2", "10^2.5"};
+    for (RefLib lib : {RefLib::OpenBLAS, RefLib::MKL, RefLib::BLIS}) {
+        std::vector<std::string> rows;
+        std::vector<std::vector<double>> cells;
+        for (const auto& k : kernels::blas_level2()) {
+            if (!full && !in_subset(k.name))
+                continue;
+            ProcPtr ours;
+            ProcPtr ref;
+            try {
+                ours = baselines::scheduled_level2(k, m, RefLib::Exo2);
+                ref = baselines::scheduled_level2(k, m, lib);
+            } catch (const std::exception& e) {
+                std::printf("  (skipping %s: %s)\n", k.name.c_str(),
+                            e.what());
+                continue;
+            }
+            std::vector<double> row;
+            for (int64_t n : sizes) {
+                double a = bench::cycles(ref, sizes_for(k, n),
+                                         baselines::cost_config_for(lib));
+                double b = bench::cycles(
+                    ours, sizes_for(k, n),
+                    baselines::cost_config_for(RefLib::Exo2));
+                row.push_back(b > 0 ? a / b : 1.0);
+            }
+            rows.push_back(k.name);
+            cells.push_back(std::move(row));
+        }
+        bench::print_heatmap("Runtime of " + baselines::ref_lib_name(lib) +
+                                 " / Exo 2 (" + m.name() + "), level 2",
+                             rows, cols, cells);
+    }
+}
+
+int
+main(int argc, char** argv)
+{
+    // Default: the full 50-variant sweep on AVX2 and a representative
+    // 12-variant sweep on AVX512 (scheduling cost dominates the
+    // harness budget); pass --full for both machines complete.
+    bool full512 = argc > 1 && std::string(argv[1]) == "--full";
+    std::printf("Figures 17/18/19: BLAS level-2 vs reference models\n");
+    run_machine(machine_avx2(), true);
+    run_machine(machine_avx512(), full512);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 8: skinny-matrix gemv/ger — the Exo 2 register-staged schedule
+ * (opt_skinny, N = 40 fixed) against the reference models' general
+ * schedules, over M buckets. The paper's shape: 2-3x wins at small M
+ * (the staged vector stays in registers), parity at large M. Also
+ * doubles as the skinny-specialization ablation (DESIGN.md #4): the
+ * general Exo 2 schedule is reported alongside.
+ */
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+#include "src/primitives/primitives.h"
+
+using namespace exo2;
+using baselines::RefLib;
+
+int
+main()
+{
+    std::printf("Figure 8: skinny gemv/ger (N = 40, AVX2)\n");
+    const Machine& m = machine_avx2();
+    std::vector<int64_t> ms{1, 10, 100, 1000, 10000};
+    std::vector<std::string> cols{"10^0", "10^1", "10^2", "10^3", "10^4"};
+    std::vector<std::string> kernels_list{"dgemv_n", "sgemv_n", "dgemv_t",
+                                          "sgemv_t", "dger", "sger"};
+    for (RefLib lib : {RefLib::MKL, RefLib::OpenBLAS, RefLib::BLIS}) {
+        std::vector<std::string> rows;
+        std::vector<std::vector<double>> cells;
+        for (const auto& name : kernels_list) {
+            const auto& k = kernels::find_kernel(name);
+            ProcPtr ours;
+            try {
+                ours = baselines::scheduled_skinny(k, m, 40);
+            } catch (const std::exception& e) {
+                std::printf("  (skipping %s: %s)\n", name.c_str(),
+                            e.what());
+                continue;
+            }
+            ProcPtr ref = baselines::scheduled_level2(k, m, lib);
+            std::vector<double> row;
+            for (int64_t mm : ms) {
+                double a = bench::cycles(ref, {{"M", mm}, {"N", 40}},
+                                         baselines::cost_config_for(lib));
+                double b = bench::cycles(
+                    ours, {{"M", mm}},
+                    baselines::cost_config_for(RefLib::Exo2));
+                row.push_back(b > 0 ? a / b : 1.0);
+            }
+            rows.push_back(name);
+            cells.push_back(std::move(row));
+        }
+        bench::print_heatmap("Runtime of " + baselines::ref_lib_name(lib) +
+                                 " / Exo 2 skinny (AVX2)",
+                             rows, cols, cells);
+    }
+
+    // Ablation: the skinny specialization vs Exo 2's own general path.
+    {
+        std::vector<std::string> rows;
+        std::vector<std::vector<double>> cells;
+        for (const auto& name : kernels_list) {
+            const auto& k = kernels::find_kernel(name);
+            ProcPtr skinny;
+            try {
+                skinny = baselines::scheduled_skinny(k, m, 40);
+            } catch (const std::exception&) {
+                continue;
+            }
+            ProcPtr general =
+                baselines::scheduled_level2(k, m, RefLib::Exo2);
+            std::vector<double> row;
+            for (int64_t mm : ms) {
+                double a = bench::cycles(general, {{"M", mm}, {"N", 40}});
+                double b = bench::cycles(skinny, {{"M", mm}});
+                row.push_back(b > 0 ? a / b : 1.0);
+            }
+            rows.push_back(name);
+            cells.push_back(std::move(row));
+        }
+        bench::print_heatmap(
+            "Ablation: Exo 2 general schedule / Exo 2 skinny schedule",
+            rows, cols, cells);
+    }
+    return 0;
+}

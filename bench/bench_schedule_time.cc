@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Scheduling-time microbenchmarks (google-benchmark): the paper's
+ * Discussion reports ~30 s to schedule GEMM and ~2 min for unsharp
+ * under Python + SMT; this implementation's linear-arithmetic checker
+ * is documented in DESIGN.md as the substitution. Also covers the
+ * cursor-forwarding ablation (DESIGN.md #1): forwarding a cursor
+ * across a schedule vs re-resolving it by pattern each step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/kernels/blas.h"
+#include "src/kernels/image.h"
+#include "src/sched/blas.h"
+#include "src/sched/gemm.h"
+#include "src/sched/halide.h"
+
+using namespace exo2;
+using namespace exo2::sched;
+
+static void
+BM_ScheduleAxpyLevel1(benchmark::State& state)
+{
+    const auto& k = kernels::find_kernel("saxpy");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(optimize_level_1(
+            k.proc, k.proc->find_loop("i"), k.prec, machine_avx2(), 4));
+    }
+}
+BENCHMARK(BM_ScheduleAxpyLevel1)->Unit(benchmark::kMillisecond);
+
+static void
+BM_ScheduleSgemm(benchmark::State& state)
+{
+    ProcPtr base =
+        sgemm_with_asserts(kernels::sgemm(), machine_avx512());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(schedule_sgemm(base, machine_avx512()));
+    }
+}
+BENCHMARK(BM_ScheduleSgemm)->Unit(benchmark::kMillisecond);
+
+static void
+BM_ScheduleBlur(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            schedule_blur_like_halide(kernels::blur(), machine_avx512()));
+    }
+}
+BENCHMARK(BM_ScheduleBlur)->Unit(benchmark::kMillisecond);
+
+/** Forwarding ablation: tile gemv, then locate the reduce statement
+ *  after the fact — via a forwarded cursor (O(chain)) or by re-running
+ *  the pattern matcher at every step (the brittle one-time-reference
+ *  style of Section 5.1). */
+static void
+BM_CursorForwarding(benchmark::State& state)
+{
+    const auto& k = kernels::find_kernel("sgemv_n");
+    for (auto _ : state) {
+        ProcPtr p = k.proc;
+        Cursor red = p->find("y[_] += _");
+        p = divide_loop(p, "i", 8, {"io", "ii"}, TailStrategy::Guard);
+        p = divide_loop(p, "j", 8, {"jo", "ji"}, TailStrategy::Guard);
+        p = lift_scope(p, "jo");
+        Cursor now = p->forward(red);
+        benchmark::DoNotOptimize(now.stmt());
+    }
+}
+BENCHMARK(BM_CursorForwarding)->Unit(benchmark::kMillisecond);
+
+static void
+BM_PatternRefind(benchmark::State& state)
+{
+    const auto& k = kernels::find_kernel("sgemv_n");
+    for (auto _ : state) {
+        ProcPtr p = k.proc;
+        p = divide_loop(p, "i", 8, {"io", "ii"}, TailStrategy::Guard);
+        Cursor red = p->find("y[_] += _");  // must re-resolve every step
+        benchmark::DoNotOptimize(red);
+        p = divide_loop(p, "j", 8, {"jo", "ji"}, TailStrategy::Guard);
+        red = p->find("y[_] += _");
+        p = lift_scope(p, "jo");
+        red = p->find("y[_] += _");
+        benchmark::DoNotOptimize(red.stmt());
+    }
+}
+BENCHMARK(BM_PatternRefind)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

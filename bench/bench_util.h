@@ -1,0 +1,51 @@
+#ifndef EXO2_BENCH_BENCH_UTIL_H_
+#define EXO2_BENCH_BENCH_UTIL_H_
+
+/**
+ * @file
+ * Shared benchmark-harness utilities: heatmap printing in the paper's
+ * format (each cell a runtime ratio "reference / Exo 2"; higher is
+ * better for Exo 2) and cost-simulation wrappers.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/machine/cost_sim.h"
+
+namespace exo2 {
+namespace bench {
+
+/** Print a ratio heatmap in the paper's layout. */
+inline void
+print_heatmap(const std::string& title,
+              const std::vector<std::string>& row_labels,
+              const std::vector<std::string>& col_labels,
+              const std::vector<std::vector<double>>& cells)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("%-14s", "");
+    for (const auto& c : col_labels)
+        std::printf("%10s", c.c_str());
+    std::printf("\n");
+    for (size_t r = 0; r < row_labels.size(); r++) {
+        std::printf("%-14s", row_labels[r].c_str());
+        for (size_t c = 0; c < cells[r].size(); c++)
+            std::printf("%10.2f", cells[r][c]);
+        std::printf("\n");
+    }
+}
+
+/** Simulated cycles of `p` under the given sizes. */
+inline double
+cycles(const ProcPtr& p, const std::map<std::string, int64_t>& sizes,
+       const CostConfig& cfg = CostConfig())
+{
+    return simulate_cost_named(p, sizes, cfg).cycles;
+}
+
+}  // namespace bench
+}  // namespace exo2
+
+#endif  // EXO2_BENCH_BENCH_UTIL_H_

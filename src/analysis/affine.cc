@@ -1,0 +1,180 @@
+#include "src/analysis/affine.h"
+
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+
+namespace exo2 {
+
+int64_t
+Affine::coeff_of(const std::string& name) const
+{
+    auto it = terms.find(name);
+    return it == terms.end() ? 0 : it->second.coeff;
+}
+
+bool
+Affine::mentions(const std::string& name) const
+{
+    for (const auto& [key, term] : terms) {
+        if (expr_uses(term.atom, name))
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+void
+add_term(Affine* a, const ExprPtr& atom, int64_t coeff)
+{
+    if (coeff == 0)
+        return;
+    std::string key = print_expr(atom);
+    auto it = a->terms.find(key);
+    if (it == a->terms.end()) {
+        a->terms[key] = LinTerm{atom, coeff};
+    } else {
+        it->second.coeff += coeff;
+        if (it->second.coeff == 0)
+            a->terms.erase(it);
+    }
+}
+
+void
+accumulate(Affine* out, const Affine& a, int64_t scale)
+{
+    out->constant += scale * a.constant;
+    for (const auto& [key, term] : a.terms)
+        add_term(out, term.atom, scale * term.coeff);
+}
+
+}  // namespace
+
+Affine
+to_affine(const ExprPtr& e)
+{
+    Affine out;
+    if (!e)
+        return out;
+    switch (e->kind()) {
+      case ExprKind::Const:
+        out.constant = static_cast<int64_t>(e->const_value());
+        return out;
+      case ExprKind::Read:
+        if (e->idx().empty()) {
+            add_term(&out, e, 1);
+            return out;
+        }
+        add_term(&out, e, 1);  // buffer read: opaque
+        return out;
+      case ExprKind::USub:
+        out = to_affine(e->lhs());
+        return affine_neg(out);
+      case ExprKind::BinOp: {
+        switch (e->op()) {
+          case BinOpKind::Add: {
+            out = to_affine(e->lhs());
+            accumulate(&out, to_affine(e->rhs()), 1);
+            return out;
+          }
+          case BinOpKind::Sub: {
+            out = to_affine(e->lhs());
+            accumulate(&out, to_affine(e->rhs()), -1);
+            return out;
+          }
+          case BinOpKind::Mul: {
+            Affine l = to_affine(e->lhs());
+            Affine r = to_affine(e->rhs());
+            if (l.is_const()) {
+                Affine res;
+                accumulate(&res, r, l.constant);
+                return res;
+            }
+            if (r.is_const()) {
+                Affine res;
+                accumulate(&res, l, r.constant);
+                return res;
+            }
+            add_term(&out, e, 1);  // variable product: opaque
+            return out;
+          }
+          default:
+            add_term(&out, e, 1);  // div/mod/predicates: opaque
+            return out;
+        }
+      }
+      default:
+        add_term(&out, e, 1);
+        return out;
+    }
+}
+
+ExprPtr
+affine_to_expr(const Affine& a)
+{
+    ExprPtr out;
+    auto emit = [&](ExprPtr piece, bool negate) {
+        if (!out) {
+            out = negate ? -piece : piece;
+        } else {
+            out = negate ? (out - piece) : (out + piece);
+        }
+    };
+    for (const auto& [key, term] : a.terms) {
+        int64_t c = term.coeff;
+        bool neg = c < 0;
+        int64_t mag = neg ? -c : c;
+        ExprPtr piece =
+            (mag == 1) ? term.atom : idx_const(mag) * term.atom;
+        emit(piece, neg);
+    }
+    if (a.constant != 0 || !out) {
+        bool neg = a.constant < 0;
+        emit(idx_const(neg ? -a.constant : a.constant), neg);
+    }
+    return out;
+}
+
+Affine
+affine_add(const Affine& a, const Affine& b)
+{
+    Affine out = a;
+    accumulate(&out, b, 1);
+    return out;
+}
+
+Affine
+affine_sub(const Affine& a, const Affine& b)
+{
+    Affine out = a;
+    accumulate(&out, b, -1);
+    return out;
+}
+
+Affine
+affine_scale(const Affine& a, int64_t k)
+{
+    Affine out;
+    accumulate(&out, a, k);
+    return out;
+}
+
+Affine
+affine_neg(const Affine& a)
+{
+    return affine_scale(a, -1);
+}
+
+bool
+affine_is_zero(const Affine& a)
+{
+    return a.constant == 0 && a.terms.empty();
+}
+
+bool
+affine_equal(const ExprPtr& a, const ExprPtr& b)
+{
+    return affine_is_zero(affine_sub(to_affine(a), to_affine(b)));
+}
+
+}  // namespace exo2

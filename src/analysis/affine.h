@@ -1,0 +1,65 @@
+#ifndef EXO2_ANALYSIS_AFFINE_H_
+#define EXO2_ANALYSIS_AFFINE_H_
+
+/**
+ * @file
+ * Affine normal forms for index expressions.
+ *
+ * Index expressions are normalized to `constant + sum(coeff_i * atom_i)`
+ * where an atom is either a variable or an opaque non-affine
+ * subexpression (a division, modulo, or variable product) keyed by its
+ * canonical printed form. Treating non-affine subterms as opaque atoms
+ * keeps the analysis total while remaining conservative.
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/ir/expr.h"
+
+namespace exo2 {
+
+/** One linear term: `coeff * atom`. */
+struct LinTerm
+{
+    ExprPtr atom;   ///< Variable read or opaque subexpression.
+    int64_t coeff = 0;
+};
+
+/** `constant + sum(terms)`, terms keyed by canonical spelling. */
+struct Affine
+{
+    int64_t constant = 0;
+    std::map<std::string, LinTerm> terms;
+
+    bool is_const() const { return terms.empty(); }
+
+    /** Coefficient of variable `name` (0 if absent). */
+    int64_t coeff_of(const std::string& name) const;
+
+    /** True if any atom mentions variable `name` (even inside opaques). */
+    bool mentions(const std::string& name) const;
+};
+
+/** Normalize an expression. Total: non-affine parts become atoms. */
+Affine to_affine(const ExprPtr& e);
+
+/** Rebuild an expression from a normal form (used by simplify). */
+ExprPtr affine_to_expr(const Affine& a);
+
+Affine affine_add(const Affine& a, const Affine& b);
+Affine affine_sub(const Affine& a, const Affine& b);
+Affine affine_scale(const Affine& a, int64_t k);
+Affine affine_neg(const Affine& a);
+
+/** Structural zero test (exact; no reasoning about opaque atoms). */
+bool affine_is_zero(const Affine& a);
+
+/** `a - b == 0` after normalization. */
+bool affine_equal(const ExprPtr& a, const ExprPtr& b);
+
+}  // namespace exo2
+
+#endif  // EXO2_ANALYSIS_AFFINE_H_

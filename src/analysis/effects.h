@@ -1,0 +1,107 @@
+#ifndef EXO2_ANALYSIS_EFFECTS_H_
+#define EXO2_ANALYSIS_EFFECTS_H_
+
+/**
+ * @file
+ * Read/write/reduce effect sets and dependence checks.
+ *
+ * Accesses are collected with their guarding conditions and enclosing
+ * binders; disjointness is decided by the linear checker. Calls are
+ * handled by inlining the callee's effects through its argument
+ * bindings (including window translation), so hardware instructions
+ * participate in dependence analysis via their semantics bodies.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/context.h"
+
+namespace exo2 {
+
+/** How a statement touches a buffer (or config field / scalar). */
+enum class AccessKind : uint8_t {
+    Read,
+    Write,
+    Reduce,
+};
+
+/** One access to `buf` at `idx`, guarded and parameterized by binders. */
+struct Access
+{
+    std::string buf;
+    AccessKind kind = AccessKind::Read;
+    /** Index expressions; empty for scalar variables. */
+    std::vector<ExprPtr> idx;
+    /** If set, indices are unknown: treat as touching everything. */
+    bool whole_buffer = false;
+    /** Loop binders introduced below the collection root. */
+    std::vector<LoopBinder> binders;
+    /** Guards (if-conditions) on the access. */
+    std::vector<ExprPtr> guards;
+};
+
+/** Collect all accesses in a statement (recursively, through calls). */
+std::vector<Access> collect_accesses(const StmtPtr& s);
+
+/** Collect all accesses in a block. */
+std::vector<Access> collect_accesses_block(const std::vector<StmtPtr>& b);
+
+/** Names allocated by Alloc statements within `b` (recursively). */
+std::vector<std::string> collect_allocs(const std::vector<StmtPtr>& b);
+
+/**
+ * Can the two accesses refer to the same memory cell in a way that
+ * matters for ordering? Read/Read never conflicts; Reduce/Reduce on the
+ * same buffer commutes (associative `+=`). Binders of `b` are renamed
+ * apart before the overlap test.
+ */
+bool accesses_conflict(const Context& ctx, const Access& a, const Access& b);
+
+/**
+ * Do `s1` and `s2` commute (can be reordered / run in either order)?
+ * Conservative; `why` (optional) receives a diagnostic on failure.
+ */
+bool stmts_commute(const Context& ctx, const StmtPtr& s1, const StmtPtr& s2,
+                   std::string* why = nullptr);
+
+/** Do two blocks commute? */
+bool blocks_commute(const Context& ctx, const std::vector<StmtPtr>& b1,
+                    const std::vector<StmtPtr>& b2,
+                    std::string* why = nullptr);
+
+/**
+ * Do different iterations of `loop` commute (no loop-carried
+ * dependences, modulo commuting reductions)? Used by reorder_loops,
+ * fission across a loop, and divide_with_recompute.
+ */
+bool loop_iterations_commute(const Context& ctx, const StmtPtr& loop,
+                             std::string* why = nullptr);
+
+/**
+ * Strict parallelism check for `parallelize_loop`: no cross-iteration
+ * write/write or read/write overlap at all (reductions count as
+ * writes).
+ */
+bool loop_parallelizable(const Context& ctx, const StmtPtr& loop,
+                         std::string* why = nullptr);
+
+/**
+ * Is a statement (or loop body) idempotent — executing it twice with
+ * the same binder values equals executing it once? True for pure
+ * assignments whose RHS does not read what the statement writes;
+ * reductions are not idempotent. Used by remove_loop, add_loop,
+ * divide_with_recompute.
+ */
+bool stmt_idempotent(const StmtPtr& s);
+bool block_idempotent(const std::vector<StmtPtr>& b);
+
+/** Does any access in `s` read buffer/var `name`? (through calls) */
+bool stmt_reads(const StmtPtr& s, const std::string& name);
+
+/** Does any access in `s` write or reduce buffer/var `name`? */
+bool stmt_writes(const StmtPtr& s, const std::string& name);
+
+}  // namespace exo2
+
+#endif  // EXO2_ANALYSIS_EFFECTS_H_

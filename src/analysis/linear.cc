@@ -1,0 +1,350 @@
+#include "src/analysis/linear.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+
+namespace exo2 {
+
+namespace {
+
+/** Caps keeping Fourier–Motzkin elimination cheap and safe. */
+constexpr size_t kMaxConstraints = 4000;
+constexpr size_t kMaxVars = 40;
+constexpr int64_t kCoeffLimit = int64_t(1) << 40;
+
+/** Normalize `a >= 0` by the gcd of its coefficients (integer
+ *  tightening: constant is floored). */
+Affine
+tighten(Affine a)
+{
+    int64_t g = 0;
+    for (const auto& [k, t] : a.terms)
+        g = std::gcd(g, std::abs(t.coeff));
+    if (g > 1) {
+        for (auto& [k, t] : a.terms)
+            t.coeff /= g;
+        // floor division for possibly-negative constants
+        int64_t c = a.constant;
+        a.constant = (c >= 0) ? c / g : -(((-c) + g - 1) / g);
+    }
+    return a;
+}
+
+bool
+same_terms(const Affine& a, const Affine& b)
+{
+    if (a.terms.size() != b.terms.size())
+        return false;
+    auto ia = a.terms.begin();
+    auto ib = b.terms.begin();
+    for (; ia != a.terms.end(); ++ia, ++ib) {
+        if (ia->first != ib->first || ia->second.coeff != ib->second.coeff)
+            return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+void
+LinearSystem::axiomatize_atoms(const Affine& a)
+{
+    for (const auto& [key, term] : a.terms) {
+        const ExprPtr& atom = term.atom;
+        if (atom->kind() != ExprKind::BinOp)
+            continue;
+        if (atom->op() != BinOpKind::Div && atom->op() != BinOpKind::Mod)
+            continue;
+        Affine divisor = to_affine(atom->rhs());
+        if (!divisor.is_const() || divisor.constant <= 0)
+            continue;
+        if (std::find(axiomatized_.begin(), axiomatized_.end(), key) !=
+            axiomatized_.end()) {
+            continue;
+        }
+        axiomatized_.push_back(key);
+        int64_t c = divisor.constant;
+        ExprPtr e = atom->lhs();
+        ExprPtr div = Expr::make_binop(BinOpKind::Div, e, atom->rhs());
+        ExprPtr mod = Expr::make_binop(BinOpKind::Mod, e, atom->rhs());
+        // e - c*(e/c) - (e%c) == 0
+        Affine eq = to_affine(e);
+        eq = affine_sub(eq, affine_scale(to_affine(div), c));
+        eq = affine_sub(eq, to_affine(mod));
+        add_eq0(eq);
+        // 0 <= e%c <= c-1
+        Affine m = to_affine(mod);
+        add_ge0(m);
+        Affine upper = affine_neg(m);
+        upper.constant += c - 1;
+        add_ge0(upper);
+    }
+}
+
+void
+LinearSystem::add_ge0(const Affine& a)
+{
+    if (ge0_.size() >= kMaxConstraints)
+        return;  // conservatively drop (weakens hypotheses only)
+    ge0_.push_back(tighten(a));
+    axiomatize_atoms(a);
+}
+
+void
+LinearSystem::add_eq0(const Affine& a)
+{
+    add_ge0(a);
+    add_ge0(affine_neg(a));
+}
+
+void
+LinearSystem::add_expr_ge0(const ExprPtr& e)
+{
+    add_ge0(to_affine(e));
+}
+
+void
+LinearSystem::add_pred(const ExprPtr& cond)
+{
+    if (!cond || cond->kind() != ExprKind::BinOp) {
+        if (cond && cond->kind() == ExprKind::Const) {
+            if (cond->type() == ScalarType::Bool && cond->const_value() == 0.0)
+                add_ge0(Affine{-1, {}});  // `False`: infeasible
+        }
+        return;  // opaque predicate: ignore
+    }
+    Affine l = to_affine(cond->lhs());
+    Affine r = to_affine(cond->rhs());
+    switch (cond->op()) {
+      case BinOpKind::And:
+        add_pred(cond->lhs());
+        add_pred(cond->rhs());
+        return;
+      case BinOpKind::Lt: {  // l < r  <=>  r - l - 1 >= 0
+        Affine a = affine_sub(r, l);
+        a.constant -= 1;
+        add_ge0(a);
+        return;
+      }
+      case BinOpKind::Le:
+        add_ge0(affine_sub(r, l));
+        return;
+      case BinOpKind::Gt: {
+        Affine a = affine_sub(l, r);
+        a.constant -= 1;
+        add_ge0(a);
+        return;
+      }
+      case BinOpKind::Ge:
+        add_ge0(affine_sub(l, r));
+        return;
+      case BinOpKind::Eq:
+        add_eq0(affine_sub(l, r));
+        return;
+      default:
+        return;  // Ne / Or: disjunctive, ignored as hypothesis
+    }
+}
+
+void
+LinearSystem::add_pred_negated(const ExprPtr& cond)
+{
+    if (!cond || cond->kind() != ExprKind::BinOp)
+        return;
+    ExprPtr flipped;
+    switch (cond->op()) {
+      case BinOpKind::Lt:
+        flipped = Expr::make_binop(BinOpKind::Ge, cond->lhs(), cond->rhs());
+        break;
+      case BinOpKind::Le:
+        flipped = Expr::make_binop(BinOpKind::Gt, cond->lhs(), cond->rhs());
+        break;
+      case BinOpKind::Gt:
+        flipped = Expr::make_binop(BinOpKind::Le, cond->lhs(), cond->rhs());
+        break;
+      case BinOpKind::Ge:
+        flipped = Expr::make_binop(BinOpKind::Lt, cond->lhs(), cond->rhs());
+        break;
+      case BinOpKind::Or:
+        add_pred_negated(cond->lhs());
+        add_pred_negated(cond->rhs());
+        return;
+      default:
+        return;  // !(==) etc.: disjunctive
+    }
+    add_pred(flipped);
+}
+
+bool
+LinearSystem::infeasible() const
+{
+    // Collect variables.
+    std::set<std::string> vars;
+    for (const auto& c : ge0_) {
+        for (const auto& [k, t] : c.terms)
+            vars.insert(k);
+    }
+    if (vars.size() > kMaxVars)
+        return false;  // too big; answer unknown
+
+    std::vector<Affine> cs = ge0_;
+    for (const auto& var : vars) {
+        std::vector<Affine> pos;
+        std::vector<Affine> neg;
+        std::vector<Affine> rest;
+        for (auto& c : cs) {
+            int64_t co = c.coeff_of(var);
+            if (co > 0)
+                pos.push_back(c);
+            else if (co < 0)
+                neg.push_back(c);
+            else
+                rest.push_back(c);
+        }
+        // Combine every (lower, upper) bound pair.
+        for (const auto& p : pos) {
+            int64_t a = p.coeff_of(var);
+            for (const auto& n : neg) {
+                int64_t b = -n.coeff_of(var);
+                // b*p + a*n eliminates var.
+                if (std::abs(a) > kCoeffLimit || std::abs(b) > kCoeffLimit)
+                    return false;
+                Affine comb =
+                    affine_add(affine_scale(p, b), affine_scale(n, a));
+                comb = tighten(comb);  // var cancelled exactly by b*p + a*n
+                if (comb.is_const()) {
+                    if (comb.constant < 0)
+                        return true;
+                } else {
+                    rest.push_back(comb);
+                }
+                if (rest.size() > kMaxConstraints)
+                    return false;
+            }
+        }
+        // Deduplicate to curb growth.
+        std::vector<Affine> dedup;
+        for (auto& c : rest) {
+            bool dup = false;
+            for (auto& d : dedup) {
+                if (same_terms(c, d)) {
+                    d.constant = std::min(d.constant, c.constant);
+                    dup = true;
+                    break;
+                }
+            }
+            if (!dup)
+                dedup.push_back(std::move(c));
+        }
+        cs = std::move(dedup);
+        for (const auto& c : cs) {
+            if (c.is_const() && c.constant < 0)
+                return true;
+        }
+    }
+    for (const auto& c : cs) {
+        if (c.is_const() && c.constant < 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+LinearSystem::implies_ge0(const Affine& a) const
+{
+    // Refute a <= -1.
+    LinearSystem s = *this;
+    Affine neg = affine_neg(a);
+    neg.constant -= 1;
+    s.add_ge0(neg);
+    return s.infeasible();
+}
+
+bool
+LinearSystem::implies_ge0(const ExprPtr& e) const
+{
+    return implies_ge0(to_affine(e));
+}
+
+bool
+LinearSystem::implies_eq0(const Affine& a) const
+{
+    if (affine_is_zero(a))
+        return true;
+    return implies_ge0(a) && implies_ge0(affine_neg(a));
+}
+
+bool
+LinearSystem::implies_pred(const ExprPtr& cond) const
+{
+    if (!cond)
+        return false;
+    if (cond->kind() == ExprKind::Const && cond->type() == ScalarType::Bool)
+        return cond->const_value() != 0.0;
+    if (cond->kind() != ExprKind::BinOp)
+        return false;
+    Affine l = to_affine(cond->lhs());
+    Affine r = to_affine(cond->rhs());
+    switch (cond->op()) {
+      case BinOpKind::And:
+        return implies_pred(cond->lhs()) && implies_pred(cond->rhs());
+      case BinOpKind::Or:
+        return implies_pred(cond->lhs()) || implies_pred(cond->rhs());
+      case BinOpKind::Lt: {
+        Affine a = affine_sub(r, l);
+        a.constant -= 1;
+        return implies_ge0(a);
+      }
+      case BinOpKind::Le:
+        return implies_ge0(affine_sub(r, l));
+      case BinOpKind::Gt: {
+        Affine a = affine_sub(l, r);
+        a.constant -= 1;
+        return implies_ge0(a);
+      }
+      case BinOpKind::Ge:
+        return implies_ge0(affine_sub(l, r));
+      case BinOpKind::Eq:
+        return implies_eq0(affine_sub(l, r));
+      case BinOpKind::Ne: {
+        LinearSystem s1 = *this;
+        s1.add_eq0(affine_sub(l, r));
+        return s1.infeasible();
+      }
+      default:
+        return false;
+    }
+}
+
+bool
+LinearSystem::implies_divisible(const ExprPtr& e, int64_t k) const
+{
+    if (k == 1)
+        return true;
+    if (k <= 0)
+        return false;
+    Affine a = to_affine(e);
+    // Fast path: every coefficient and the constant divisible by k.
+    bool all = a.constant % k == 0;
+    for (const auto& [key, t] : a.terms) {
+        if (t.coeff % k != 0) {
+            all = false;
+            break;
+        }
+    }
+    if (all)
+        return true;
+    // General path: prove e % k == 0 through the mod axioms.
+    ExprPtr mod = Expr::make_binop(BinOpKind::Mod, e, idx_const(k));
+    LinearSystem s = *this;
+    Affine m = to_affine(mod);
+    s.add_ge0(m);  // triggers axiomatization
+    return s.implies_eq0(m);
+}
+
+}  // namespace exo2

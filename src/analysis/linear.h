@@ -1,0 +1,76 @@
+#ifndef EXO2_ANALYSIS_LINEAR_H_
+#define EXO2_ANALYSIS_LINEAR_H_
+
+/**
+ * @file
+ * A small linear integer arithmetic checker.
+ *
+ * This replaces the SMT solver Exo 2 relies on. Constraints are affine
+ * inequalities over atoms (variables and opaque div/mod subterms).
+ * Floor-division and modulo atoms are axiomatized (`e == c*(e/c) + e%c`,
+ * `0 <= e%c < c`), then queries are decided by Fourier–Motzkin
+ * elimination with integer tightening. The checker is conservative:
+ * "not provable" answers reject a rewrite, never accept one.
+ */
+
+#include <vector>
+
+#include "src/analysis/affine.h"
+
+namespace exo2 {
+
+/** A conjunction of affine constraints `a >= 0`. */
+class LinearSystem
+{
+  public:
+    /** Add constraint `a >= 0`, axiomatizing new div/mod atoms. */
+    void add_ge0(const Affine& a);
+
+    /** Add constraint `a == 0`. */
+    void add_eq0(const Affine& a);
+
+    /** Add `e >= 0` for an expression. */
+    void add_expr_ge0(const ExprPtr& e);
+
+    /**
+     * Add a predicate (comparison / conjunction) as a hypothesis.
+     * Disjunctions and non-linear predicates are ignored
+     * (conservatively weakening the context).
+     */
+    void add_pred(const ExprPtr& cond);
+
+    /** Add the negation of a predicate where expressible. */
+    void add_pred_negated(const ExprPtr& cond);
+
+    /**
+     * Is the system infeasible over the integers? Sound "yes": a true
+     * return guarantees no integer solution. May answer false (unknown)
+     * for feasible or hard systems.
+     */
+    bool infeasible() const;
+
+    /** Is `e >= 0` implied for all integer solutions? */
+    bool implies_ge0(const ExprPtr& e) const;
+    bool implies_ge0(const Affine& a) const;
+
+    /** Is `e == 0` implied? */
+    bool implies_eq0(const Affine& a) const;
+
+    /** Is predicate `cond` implied? (comparisons and conjunctions) */
+    bool implies_pred(const ExprPtr& cond) const;
+
+    /** Is `e` divisible by `k` for all solutions? */
+    bool implies_divisible(const ExprPtr& e, int64_t k) const;
+
+    size_t size() const { return ge0_.size(); }
+
+  private:
+    void axiomatize_atoms(const Affine& a);
+
+    std::vector<Affine> ge0_;
+    std::vector<std::string> axiomatized_;
+};
+
+}  // namespace exo2
+
+#endif  // EXO2_ANALYSIS_LINEAR_H_

@@ -1,0 +1,172 @@
+#include "src/baselines/baselines.h"
+
+#include <map>
+#include <mutex>
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+namespace baselines {
+
+std::string
+ref_lib_name(RefLib lib)
+{
+    switch (lib) {
+      case RefLib::Exo2: return "Exo 2";
+      case RefLib::MKL: return "MKL";
+      case RefLib::OpenBLAS: return "OpenBLAS";
+      case RefLib::BLIS: return "BLIS";
+      case RefLib::Exo: return "Exo";
+    }
+    return "?";
+}
+
+CostConfig
+cost_config_for(RefLib lib)
+{
+    CostConfig cfg;
+    switch (lib) {
+      case RefLib::Exo2:
+      case RefLib::Exo:
+        cfg.dispatch_cycles = 0.0;  // direct generated kernels
+        break;
+      case RefLib::MKL:
+        cfg.dispatch_cycles = 14.0;
+        break;
+      case RefLib::OpenBLAS:
+        cfg.dispatch_cycles = 28.0;
+        break;
+      case RefLib::BLIS:
+        cfg.dispatch_cycles = 30.0;
+        break;
+    }
+    return cfg;
+}
+
+namespace {
+
+struct LibParams
+{
+    int interleave = 4;
+    bool masked_tail = true;
+    int r_fac = 4;
+    int c_fac = 2;
+};
+
+LibParams
+params_for(RefLib lib)
+{
+    LibParams p;
+    switch (lib) {
+      case RefLib::Exo2:
+        p.interleave = 4;
+        p.masked_tail = true;
+        p.r_fac = 2;
+        p.c_fac = 2;
+        break;
+      case RefLib::MKL:
+        p.interleave = 8;
+        p.masked_tail = true;
+        p.r_fac = 2;
+        p.c_fac = 2;
+        break;
+      case RefLib::OpenBLAS:
+        p.interleave = 8;
+        p.masked_tail = false;
+        p.r_fac = 2;
+        p.c_fac = 2;
+        break;
+      case RefLib::BLIS:
+        p.interleave = 2;
+        p.masked_tail = false;
+        p.r_fac = 2;
+        p.c_fac = 2;
+        break;
+      case RefLib::Exo:
+        p.interleave = 1;
+        p.masked_tail = false;
+        p.r_fac = 2;
+        p.c_fac = 1;
+        break;
+    }
+    return p;
+}
+
+std::map<std::string, ProcPtr>&
+cache()
+{
+    static std::map<std::string, ProcPtr> c;
+    return c;
+}
+
+std::mutex&
+cache_mutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+}  // namespace
+
+ProcPtr
+scheduled_level1(const kernels::KernelDef& k, const Machine& m, RefLib lib)
+{
+    std::string key =
+        "l1:" + k.name + ":" + m.name() + ":" + ref_lib_name(lib);
+    {
+        std::lock_guard<std::mutex> g(cache_mutex());
+        auto it = cache().find(key);
+        if (it != cache().end())
+            return it->second;
+    }
+    LibParams prm = params_for(lib);
+    ProcPtr s = sched::optimize_level_1(
+        k.proc, k.proc->find_loop(k.main_loop), k.prec, m, prm.interleave,
+        prm.masked_tail);
+    std::lock_guard<std::mutex> g(cache_mutex());
+    cache()[key] = s;
+    return s;
+}
+
+ProcPtr
+scheduled_level2(const kernels::KernelDef& k, const Machine& m, RefLib lib)
+{
+    std::string key =
+        "l2:" + k.name + ":" + m.name() + ":" + ref_lib_name(lib);
+    {
+        std::lock_guard<std::mutex> g(cache_mutex());
+        auto it = cache().find(key);
+        if (it != cache().end())
+            return it->second;
+    }
+    LibParams prm = params_for(lib);
+    ProcPtr s = sched::optimize_level_2_general(
+        k.proc, k.proc->find_loop(k.main_loop), k.prec, m, prm.r_fac,
+        prm.c_fac, prm.masked_tail);
+    std::lock_guard<std::mutex> g(cache_mutex());
+    cache()[key] = s;
+    return s;
+}
+
+ProcPtr
+scheduled_skinny(const kernels::KernelDef& k, const Machine& m,
+                 int64_t fixed_n)
+{
+    std::string key = "sk:" + k.name + ":" + m.name() + ":" +
+                      std::to_string(fixed_n);
+    {
+        std::lock_guard<std::mutex> g(cache_mutex());
+        auto it = cache().find(key);
+        if (it != cache().end())
+            return it->second;
+    }
+    ProcPtr fixed = partial_eval(k.proc, "N", fixed_n);
+    ProcPtr s = sched::opt_skinny(fixed, fixed->find_loop(k.main_loop),
+                                  k.prec, m, fixed_n);
+    std::lock_guard<std::mutex> g(cache_mutex());
+    cache()[key] = s;
+    return s;
+}
+
+}  // namespace baselines
+}  // namespace exo2

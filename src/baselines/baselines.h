@@ -1,0 +1,55 @@
+#ifndef EXO2_BASELINES_BASELINES_H_
+#define EXO2_BASELINES_BASELINES_H_
+
+/**
+ * @file
+ * Reference-library models (the DESIGN.md substitution for MKL /
+ * OpenBLAS / BLIS / Halide / the Gemmini standard library / original
+ * Exo). Each model is a hand-chosen schedule run on the same cost
+ * simulator; the parameter choices reflect each library's published
+ * character:
+ *
+ *  - MKL-model:      wide interleave, masked tails (best small-size
+ *                    handling among the reference libraries).
+ *  - OpenBLAS-model: wide interleave, scalar tails (weak tiny sizes).
+ *  - BLIS-model:     modest interleave, scalar tails.
+ *  - Exo-model:      the same generators with the PLDI'22 parameter
+ *                    choices (no interleave tuning) — Fig. 6's
+ *                    comparison partner.
+ *
+ * None of the models uses the Exo 2 skinny/specialized paths: the
+ * paper's small-N wins come exactly from that asymmetry.
+ */
+
+#include "src/kernels/blas.h"
+#include "src/machine/cost_sim.h"
+#include "src/machine/machine.h"
+#include "src/sched/blas.h"
+
+namespace exo2 {
+namespace baselines {
+
+enum class RefLib { Exo2, MKL, OpenBLAS, BLIS, Exo };
+
+/** Printable name. */
+std::string ref_lib_name(RefLib lib);
+
+/** The cost-model configuration for a library (dispatch overhead). */
+CostConfig cost_config_for(RefLib lib);
+
+/** Schedule a level-1 kernel as `lib` would (cached). */
+ProcPtr scheduled_level1(const kernels::KernelDef& k, const Machine& m,
+                         RefLib lib);
+
+/** Schedule a level-2 kernel as `lib` would (cached). */
+ProcPtr scheduled_level2(const kernels::KernelDef& k, const Machine& m,
+                         RefLib lib);
+
+/** Exo 2's skinny-matrix specialization for gemv/ger at fixed N. */
+ProcPtr scheduled_skinny(const kernels::KernelDef& k, const Machine& m,
+                         int64_t fixed_n);
+
+}  // namespace baselines
+}  // namespace exo2
+
+#endif  // EXO2_BASELINES_BASELINES_H_

@@ -1,0 +1,318 @@
+#include "src/codegen/c_codegen.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/ir/errors.h"
+#include "src/ir/printer.h"
+
+namespace exo2 {
+
+namespace {
+
+/** Per-buffer layout info for index linearization. */
+struct BufInfo
+{
+    std::vector<ExprPtr> dims;
+    ScalarType type = ScalarType::F32;
+    MemoryPtr mem;
+    bool is_window = false;  ///< passed as pointer with stride args
+};
+
+class CGen
+{
+  public:
+    explicit CGen(const ProcPtr& p) : proc_(p) {}
+
+    std::string run()
+    {
+        emit_signature();
+        indent_ = 1;
+        for (const auto& pred : proc_->preds())
+            line("/* assert " + print_expr(pred) + " */");
+        for (const auto& s : proc_->body_stmts())
+            stmt(s);
+        indent_ = 0;
+        line("}");
+        return out_.str();
+    }
+
+  private:
+    void line(const std::string& s)
+    {
+        for (int i = 0; i < indent_; i++)
+            out_ << "    ";
+        out_ << s << "\n";
+    }
+
+    void emit_signature()
+    {
+        std::ostringstream sig;
+        sig << "void " << proc_->name() << "(";
+        bool first = true;
+        for (const auto& a : proc_->args()) {
+            if (!first)
+                sig << ", ";
+            first = false;
+            if (a.dims.empty()) {
+                sig << type_c_name(a.type) << " " << a.name;
+            } else {
+                sig << type_c_name(a.type) << "* " << a.name;
+            }
+            BufInfo info;
+            info.dims = a.dims;
+            info.type = a.type;
+            info.mem = a.mem;
+            info.is_window = a.is_window;
+            bufs_[a.name] = info;
+        }
+        sig << ") {";
+        out_ << sig.str() << "\n";
+    }
+
+    /** Row-major flat index expression. */
+    std::string flat_index(const std::string& name,
+                           const std::vector<ExprPtr>& idx)
+    {
+        auto it = bufs_.find(name);
+        if (it == bufs_.end())
+            throw InternalError("codegen: unknown buffer " + name);
+        const BufInfo& b = it->second;
+        if (idx.size() != b.dims.size()) {
+            throw SchedulingError(
+                "codegen backend check: access arity mismatch on '" +
+                name + "'");
+        }
+        std::string out;
+        for (size_t d = 0; d < idx.size(); d++) {
+            std::string term = "(" + expr(idx[d]) + ")";
+            for (size_t k = d + 1; k < b.dims.size(); k++)
+                term += " * (" + expr(b.dims[k]) + ")";
+            out = out.empty() ? term : out + " + " + term;
+        }
+        return out.empty() ? "0" : out;
+    }
+
+    std::string access(const std::string& name,
+                       const std::vector<ExprPtr>& idx)
+    {
+        auto it = bufs_.find(name);
+        if (it != bufs_.end() && !it->second.dims.empty())
+            return name + "[" + flat_index(name, idx) + "]";
+        return name;  // scalar
+    }
+
+    std::string expr(const ExprPtr& e)
+    {
+        switch (e->kind()) {
+          case ExprKind::Const: {
+            std::ostringstream os;
+            if (e->type() == ScalarType::Index ||
+                is_integer(e->type())) {
+                os << static_cast<int64_t>(e->const_value());
+            } else {
+                os << e->const_value();
+                if (os.str().find('.') == std::string::npos &&
+                    os.str().find('e') == std::string::npos) {
+                    os << ".0";
+                }
+                if (e->type() == ScalarType::F32)
+                    os << "f";
+            }
+            return os.str();
+          }
+          case ExprKind::Read:
+            if (e->idx().empty())
+                return e->name();
+            return access(e->name(), e->idx());
+          case ExprKind::BinOp: {
+            std::string l = expr(e->lhs());
+            std::string r = expr(e->rhs());
+            std::string op = binop_name(e->op());
+            if (op == "and")
+                op = "&&";
+            if (op == "or")
+                op = "||";
+            return "(" + l + " " + op + " " + r + ")";
+          }
+          case ExprKind::USub:
+            return "(-" + expr(e->lhs()) + ")";
+          case ExprKind::Window: {
+            // Pointer to the window origin.
+            std::vector<ExprPtr> idx;
+            for (const auto& d : e->window_dims())
+                idx.push_back(d.lo);
+            return "&" + e->name() + "[" + flat_index(e->name(), idx) +
+                   "]";
+          }
+          case ExprKind::Stride: {
+            auto it = bufs_.find(e->name());
+            if (it == bufs_.end())
+                throw InternalError("codegen: stride of unknown buffer");
+            const BufInfo& b = it->second;
+            std::string out = "1";
+            for (size_t k = static_cast<size_t>(e->stride_dim()) + 1;
+                 k < b.dims.size(); k++) {
+                out += " * (" + expr(b.dims[k]) + ")";
+            }
+            return out;
+          }
+          case ExprKind::ReadConfig:
+            return e->name() + "_" + e->field();
+          case ExprKind::Extern: {
+            std::string out = e->name() + "(";
+            for (size_t i = 0; i < e->idx().size(); i++) {
+                if (i)
+                    out += ", ";
+                out += expr(e->idx()[i]);
+            }
+            return out + ")";
+          }
+        }
+        throw InternalError("codegen: unknown expr");
+    }
+
+    void stmt(const StmtPtr& s)
+    {
+        switch (s->kind()) {
+          case StmtKind::Assign:
+          case StmtKind::Reduce: {
+            std::string lhs = access(s->name(), s->idx());
+            std::string op = s->kind() == StmtKind::Assign ? " = " : " += ";
+            line(lhs + op + expr(s->rhs()) + ";");
+            return;
+          }
+          case StmtKind::Alloc: {
+            BufInfo info;
+            info.dims = s->dims();
+            info.type = s->type();
+            info.mem = s->mem();
+            bufs_[s->name()] = info;
+            if (s->dims().empty()) {
+                line(type_c_name(s->type()) + " " + s->name() + ";");
+                return;
+            }
+            std::string size;
+            for (const auto& d : s->dims()) {
+                std::string piece = "(" + expr(d) + ")";
+                size = size.empty() ? piece : size + " * " + piece;
+            }
+            std::string attr;
+            if (s->mem()->is_vector())
+                attr = " /* " + s->mem()->name() + " register */";
+            else if (s->mem()->kind() != MemoryKind::Dram)
+                attr = " /* @" + s->mem()->name() + " */";
+            line(type_c_name(s->type()) + " " + s->name() + "[" + size +
+                 "];" + attr);
+            return;
+          }
+          case StmtKind::For: {
+            std::string i = s->iter();
+            std::string pragma;
+            if (s->loop_mode() == LoopMode::Par)
+                line("#pragma omp parallel for");
+            line("for (int64_t " + i + " = " + expr(s->lo()) + "; " + i +
+                 " < " + expr(s->hi()) + "; " + i + "++) {");
+            indent_++;
+            for (const auto& c : s->body())
+                stmt(c);
+            indent_--;
+            line("}");
+            return;
+          }
+          case StmtKind::If: {
+            line("if (" + expr(s->cond()) + ") {");
+            indent_++;
+            for (const auto& c : s->body())
+                stmt(c);
+            indent_--;
+            if (!s->orelse().empty()) {
+                line("} else {");
+                indent_++;
+                for (const auto& c : s->orelse())
+                    stmt(c);
+                indent_--;
+            }
+            line("}");
+            return;
+          }
+          case StmtKind::Pass:
+            line(";");
+            return;
+          case StmtKind::Call: {
+            const ProcPtr& callee = s->callee();
+            if (!callee)
+                throw InternalError("codegen: unresolved call");
+            std::string name = callee->is_instr()
+                                   ? callee->instr()->c_template
+                                   : callee->name();
+            std::string out = name + "(";
+            for (size_t i = 0; i < s->args().size(); i++) {
+                if (i)
+                    out += ", ";
+                out += expr(s->args()[i]);
+            }
+            line(out + ");");
+            return;
+          }
+          case StmtKind::WriteConfig:
+            line(s->name() + "_" + s->field() + " = " + expr(s->rhs()) +
+                 ";");
+            return;
+          case StmtKind::WindowDecl: {
+            const ExprPtr& w = s->rhs();
+            BufInfo base = bufs_.at(w->name());
+            BufInfo info;
+            info.type = s->type();
+            info.mem = base.mem;
+            for (const auto& d : w->window_dims()) {
+                if (!d.is_point()) {
+                    // Windows keep the base's inner strides; dense
+                    // lowering supports suffix windows only.
+                    info.dims.push_back(d.hi);  // conservative extent
+                }
+            }
+            bufs_[s->name()] = info;
+            line(type_c_name(s->type()) + "* " + s->name() + " = " +
+                 expr(w) + ";");
+            return;
+          }
+        }
+        throw InternalError("codegen: unknown stmt");
+    }
+
+    ProcPtr proc_;
+    std::ostringstream out_;
+    std::map<std::string, BufInfo> bufs_;
+    int indent_ = 0;
+};
+
+}  // namespace
+
+std::string
+codegen_c(const ProcPtr& p)
+{
+    CGen g(p);
+    return g.run();
+}
+
+int
+codegen_c_lines(const ProcPtr& p)
+{
+    std::string src = codegen_c(p);
+    int lines = 0;
+    std::istringstream is(src);
+    std::string l;
+    while (std::getline(is, l)) {
+        bool blank = true;
+        for (char c : l) {
+            if (!isspace(static_cast<unsigned char>(c)))
+                blank = false;
+        }
+        if (!blank)
+            lines++;
+    }
+    return lines;
+}
+
+}  // namespace exo2

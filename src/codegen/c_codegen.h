@@ -1,0 +1,30 @@
+#ifndef EXO2_CODEGEN_C_CODEGEN_H_
+#define EXO2_CODEGEN_C_CODEGEN_H_
+
+/**
+ * @file
+ * C source generator. Lowers a (scheduled) procedure to portable C:
+ * dense row-major buffers, explicit loops, and intrinsic-style calls
+ * for hardware instructions (each instruction's InstrInfo template
+ * names the emitted function). This realizes the "Gen. C" artifact of
+ * Figure 9a; the line counts it reports come from this backend.
+ *
+ * Backend checks (Appendix A.7) run here: memory-space access
+ * legality and precision consistency are validated during lowering.
+ */
+
+#include <string>
+
+#include "src/ir/proc.h"
+
+namespace exo2 {
+
+/** Generate a self-contained C function for `p`. */
+std::string codegen_c(const ProcPtr& p);
+
+/** Number of non-empty lines in the generated C (Figure 9a metric). */
+int codegen_c_lines(const ProcPtr& p);
+
+}  // namespace exo2
+
+#endif  // EXO2_CODEGEN_C_CODEGEN_H_

@@ -1,0 +1,117 @@
+#ifndef EXO2_CURSOR_EDITS_H_
+#define EXO2_CURSOR_EDITS_H_
+
+/**
+ * @file
+ * Atomic AST edits with canonical forwarding functions (Section 5.2):
+ * insertion, deletion, replacement, movement, and wrapping. Every
+ * scheduling primitive decomposes into these; the primitive's
+ * forwarding function is the composition of its edits' forwarding
+ * functions.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cursor/node.h"
+
+namespace exo2 {
+
+/** Identity forwarding (e.g. annotations that do not move code). */
+ForwardFn fwd_identity();
+
+/** Sequential composition: apply `a`, then `b`. */
+ForwardFn fwd_compose(ForwardFn a, ForwardFn b);
+
+/**
+ * Forwarding for an in-place rewrite of the subtree at `prefix` that
+ * does not preserve its internal structure: the node itself stays
+ * valid, anything strictly below is invalidated.
+ */
+ForwardFn fwd_invalidate_below(Path prefix);
+
+/** Forwarding for insertion of `count` stmts at gap `gap` of list `L`. */
+ForwardFn fwd_insert(ListAddr addr, int gap, int count);
+
+/** Forwarding for deletion of stmts [lo, hi) of list `L`. */
+ForwardFn fwd_erase(ListAddr addr, int lo, int hi);
+
+/** Forwarding for replacement of [lo, hi) by `count` new stmts. */
+ForwardFn fwd_replace_range(ListAddr addr, int lo, int hi, int count);
+
+/**
+ * Forwarding for wrapping [lo, hi) into a new one-hole statement whose
+ * hole is its Body list (e.g. a new For or If).
+ */
+ForwardFn fwd_wrap(ListAddr addr, int lo, int hi);
+
+/**
+ * Forwarding for unwrapping: the statement at `pos` is replaced by its
+ * `count` former Body statements (e.g. remove_loop / dissolve an if).
+ */
+ForwardFn fwd_unwrap(ListAddr addr, int pos, int count);
+
+/**
+ * Forwarding for moving [lo, hi) of `src` to gap `dst_gap` of `dst`,
+ * where `dst` and `dst_gap` are expressed in *post-deletion*
+ * coordinates (i.e. as if [lo, hi) had already been removed).
+ */
+ForwardFn fwd_move(ListAddr src, int lo, int hi, ListAddr dst, int dst_gap);
+
+// -- Whole-proc edit helpers (rebuild + provenance in one step) ---------
+
+/** Insert statements at a gap. */
+ProcPtr apply_insert(const ProcPtr& p, const ListAddr& addr, int gap,
+                     std::vector<StmtPtr> stmts, const std::string& action);
+
+/** Delete statements [lo, hi). */
+ProcPtr apply_erase(const ProcPtr& p, const ListAddr& addr, int lo, int hi,
+                    const std::string& action);
+
+/** Replace statements [lo, hi) with `repl`. */
+ProcPtr apply_replace_range(const ProcPtr& p, const ListAddr& addr, int lo,
+                            int hi, std::vector<StmtPtr> repl,
+                            const std::string& action);
+
+/**
+ * Replace the single statement at `path` with `repl`, *invalidating*
+ * cursors below it (used when the new statement has unrelated shape).
+ */
+ProcPtr apply_replace_stmt(const ProcPtr& p, const Path& path, StmtPtr repl,
+                           const std::string& action);
+
+/**
+ * Replace the statement at `path` with a same-shape variant (bounds,
+ * name, memory, annotations changed; children lists untouched), with
+ * identity forwarding.
+ */
+ProcPtr apply_replace_stmt_same_shape(const ProcPtr& p, const Path& path,
+                                      StmtPtr repl,
+                                      const std::string& action);
+
+/** Replace the expression at `path` (exact path stays valid). */
+ProcPtr apply_replace_expr(const ProcPtr& p, const Path& path, ExprPtr repl,
+                           const std::string& action);
+
+/**
+ * Wrap [lo, hi) of a list into `wrapper(block)` (a For/If whose Body is
+ * the block).
+ */
+ProcPtr apply_wrap(const ProcPtr& p, const ListAddr& addr, int lo, int hi,
+                   const std::function<StmtPtr(std::vector<StmtPtr>)>& wrap,
+                   const std::string& action);
+
+/** Unwrap the For/If at `path`, splicing `contents` in its place. */
+ProcPtr apply_unwrap(const ProcPtr& p, const Path& path,
+                     std::vector<StmtPtr> contents,
+                     const std::string& action);
+
+/** Move [lo, hi) of `src` to `dst_gap` of `dst` (post-deletion coords). */
+ProcPtr apply_move(const ProcPtr& p, const ListAddr& src, int lo, int hi,
+                   const ListAddr& dst, int dst_gap,
+                   const std::string& action);
+
+}  // namespace exo2
+
+#endif  // EXO2_CURSOR_EDITS_H_

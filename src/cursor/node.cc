@@ -1,0 +1,319 @@
+#include "src/cursor/node.h"
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+
+namespace {
+
+[[noreturn]] void
+bad_path(const std::string& why)
+{
+    throw InvalidCursorError("path resolution failed: " + why);
+}
+
+/** Fetch the child of a statement named by one step. */
+NodeRef
+stmt_child(const StmtPtr& s, const PathStep& step)
+{
+    switch (step.label) {
+      case PathLabel::Body:
+        if (step.index < 0 ||
+            step.index >= static_cast<int>(s->body().size())) {
+            bad_path("body index out of range");
+        }
+        return s->body()[static_cast<size_t>(step.index)];
+      case PathLabel::Orelse:
+        if (step.index < 0 ||
+            step.index >= static_cast<int>(s->orelse().size())) {
+            bad_path("orelse index out of range");
+        }
+        return s->orelse()[static_cast<size_t>(step.index)];
+      case PathLabel::Cond:
+        if (!s->cond())
+            bad_path("no cond");
+        return s->cond();
+      case PathLabel::Lo:
+        if (!s->lo())
+            bad_path("no lo");
+        return s->lo();
+      case PathLabel::Hi:
+        if (!s->hi())
+            bad_path("no hi");
+        return s->hi();
+      case PathLabel::Rhs:
+        if (!s->rhs())
+            bad_path("no rhs");
+        return s->rhs();
+      case PathLabel::Idx:
+        if (step.index < 0 ||
+            step.index >= static_cast<int>(s->idx().size())) {
+            bad_path("idx index out of range");
+        }
+        return s->idx()[static_cast<size_t>(step.index)];
+      case PathLabel::Dim:
+        if (step.index < 0 ||
+            step.index >= static_cast<int>(s->dims().size())) {
+            bad_path("dim index out of range");
+        }
+        return s->dims()[static_cast<size_t>(step.index)];
+      case PathLabel::Arg:
+        if (step.index < 0 ||
+            step.index >= static_cast<int>(s->args().size())) {
+            bad_path("arg index out of range");
+        }
+        return s->args()[static_cast<size_t>(step.index)];
+      default:
+        bad_path("label not valid for statements");
+    }
+}
+
+/** Fetch the child of an expression named by one step. */
+ExprPtr
+expr_child(const ExprPtr& e, const PathStep& step)
+{
+    switch (step.label) {
+      case PathLabel::OpLhs:
+        if (!e->lhs())
+            bad_path("no lhs operand");
+        return e->lhs();
+      case PathLabel::OpRhs:
+        if (!e->rhs())
+            bad_path("no rhs operand");
+        return e->rhs();
+      case PathLabel::Idx:
+        if (step.index < 0 ||
+            step.index >= static_cast<int>(e->idx().size())) {
+            bad_path("expr idx out of range");
+        }
+        return e->idx()[static_cast<size_t>(step.index)];
+      default:
+        bad_path("label not valid for expressions");
+    }
+}
+
+/** Rebuild a statement with the child at `step` replaced by `node`. */
+StmtPtr
+stmt_with_child(const StmtPtr& s, const PathStep& step, NodeRef node)
+{
+    auto as_stmt = [&]() -> StmtPtr {
+        if (!std::holds_alternative<StmtPtr>(node))
+            bad_path("expected statement node");
+        return std::get<StmtPtr>(node);
+    };
+    auto as_expr = [&]() -> ExprPtr {
+        if (!std::holds_alternative<ExprPtr>(node))
+            bad_path("expected expression node");
+        return std::get<ExprPtr>(node);
+    };
+    switch (step.label) {
+      case PathLabel::Body: {
+        auto body = s->body();
+        body.at(static_cast<size_t>(step.index)) = as_stmt();
+        return s->with_body(std::move(body));
+      }
+      case PathLabel::Orelse: {
+        auto orelse = s->orelse();
+        orelse.at(static_cast<size_t>(step.index)) = as_stmt();
+        return s->with_orelse(std::move(orelse));
+      }
+      case PathLabel::Cond:
+        return s->with_cond(as_expr());
+      case PathLabel::Lo:
+        return s->with_bounds(as_expr(), s->hi());
+      case PathLabel::Hi:
+        return s->with_bounds(s->lo(), as_expr());
+      case PathLabel::Rhs:
+        return s->with_rhs(as_expr());
+      case PathLabel::Idx: {
+        auto idx = s->idx();
+        idx.at(static_cast<size_t>(step.index)) = as_expr();
+        return s->with_idx(std::move(idx));
+      }
+      case PathLabel::Dim: {
+        auto dims = s->dims();
+        dims.at(static_cast<size_t>(step.index)) = as_expr();
+        return s->with_dims(std::move(dims));
+      }
+      case PathLabel::Arg: {
+        auto args = s->args();
+        args.at(static_cast<size_t>(step.index)) = as_expr();
+        return s->with_args(std::move(args));
+      }
+      default:
+        bad_path("label not valid for statements");
+    }
+}
+
+/** Rebuild an expression with the child at `step` replaced. */
+ExprPtr
+expr_with_child(const ExprPtr& e, const PathStep& step, const ExprPtr& child)
+{
+    auto kids = e->children();
+    // Map step to position in children() order.
+    switch (e->kind()) {
+      case ExprKind::BinOp:
+        if (step.label == PathLabel::OpLhs)
+            kids.at(0) = child;
+        else if (step.label == PathLabel::OpRhs)
+            kids.at(1) = child;
+        else
+            bad_path("binop child label");
+        break;
+      case ExprKind::USub:
+        if (step.label != PathLabel::OpLhs)
+            bad_path("usub child label");
+        kids.at(0) = child;
+        break;
+      case ExprKind::Read:
+      case ExprKind::Extern:
+        if (step.label != PathLabel::Idx)
+            bad_path("read child label");
+        kids.at(static_cast<size_t>(step.index)) = child;
+        break;
+      default:
+        bad_path("expression has no children");
+    }
+    return e->with_children(std::move(kids));
+}
+
+NodeRef
+node_descend(NodeRef node, const PathStep& step)
+{
+    if (std::holds_alternative<StmtPtr>(node))
+        return stmt_child(std::get<StmtPtr>(node), step);
+    return expr_child(std::get<ExprPtr>(node), step);
+}
+
+/**
+ * Recursive rebuild along a path: returns the replacement for `node`
+ * after substituting at path[depth...].
+ */
+NodeRef
+rebuild_rec(NodeRef node, const Path& path, size_t depth, NodeRef repl)
+{
+    if (depth == path.size())
+        return repl;
+    const PathStep& step = path[depth];
+    NodeRef child = node_descend(node, step);
+    NodeRef new_child = rebuild_rec(child, path, depth + 1, repl);
+    if (std::holds_alternative<StmtPtr>(node)) {
+        return stmt_with_child(std::get<StmtPtr>(node), step, new_child);
+    }
+    if (!std::holds_alternative<ExprPtr>(new_child))
+        bad_path("expression child must be expression");
+    return NodeRef(expr_with_child(std::get<ExprPtr>(node), step,
+                                   std::get<ExprPtr>(new_child)));
+}
+
+}  // namespace
+
+ListAddr
+list_addr_of(const Path& stmt_path, int* index_out)
+{
+    if (stmt_path.empty())
+        throw InvalidCursorError("empty path has no containing list");
+    const PathStep& last = stmt_path.back();
+    if (!is_stmt_list_label(last.label))
+        throw InvalidCursorError("path does not end in a statement list");
+    ListAddr addr;
+    addr.parent = Path(stmt_path.begin(), stmt_path.end() - 1);
+    addr.label = last.label;
+    if (index_out)
+        *index_out = last.index;
+    return addr;
+}
+
+NodeRef
+node_at(const ProcPtr& p, const Path& path)
+{
+    if (path.empty())
+        throw InvalidCursorError("empty path does not denote a node");
+    const PathStep& first = path.front();
+    if (first.label != PathLabel::Body)
+        throw InvalidCursorError("proc-level path must start at body");
+    if (first.index < 0 ||
+        first.index >= static_cast<int>(p->body_stmts().size())) {
+        throw InvalidCursorError("top-level body index out of range");
+    }
+    NodeRef node = p->body_stmts()[static_cast<size_t>(first.index)];
+    for (size_t d = 1; d < path.size(); d++)
+        node = node_descend(node, path[d]);
+    return node;
+}
+
+StmtPtr
+stmt_at(const ProcPtr& p, const Path& path)
+{
+    NodeRef n = node_at(p, path);
+    if (!std::holds_alternative<StmtPtr>(n))
+        throw InvalidCursorError("path denotes an expression, not a stmt");
+    return std::get<StmtPtr>(n);
+}
+
+ExprPtr
+expr_at(const ProcPtr& p, const Path& path)
+{
+    NodeRef n = node_at(p, path);
+    if (!std::holds_alternative<ExprPtr>(n))
+        throw InvalidCursorError("path denotes a statement, not an expr");
+    return std::get<ExprPtr>(n);
+}
+
+const std::vector<StmtPtr>&
+stmt_list_at(const ProcPtr& p, const ListAddr& addr)
+{
+    if (addr.parent.empty()) {
+        if (addr.label != PathLabel::Body)
+            throw InvalidCursorError("proc has only a body list");
+        return p->body_stmts();
+    }
+    StmtPtr s = stmt_at(p, addr.parent);
+    if (addr.label == PathLabel::Body)
+        return s->body();
+    if (addr.label == PathLabel::Orelse)
+        return s->orelse();
+    throw InvalidCursorError("not a statement list label");
+}
+
+std::vector<StmtPtr>
+rebuild_list(const ProcPtr& p, const ListAddr& addr,
+             std::vector<StmtPtr> new_list)
+{
+    if (addr.parent.empty()) {
+        if (addr.label != PathLabel::Body)
+            throw InvalidCursorError("proc has only a body list");
+        return new_list;
+    }
+    StmtPtr s = stmt_at(p, addr.parent);
+    StmtPtr new_s;
+    if (addr.label == PathLabel::Body)
+        new_s = s->with_body(std::move(new_list));
+    else if (addr.label == PathLabel::Orelse)
+        new_s = s->with_orelse(std::move(new_list));
+    else
+        throw InvalidCursorError("not a statement list label");
+    return rebuild_node(p, addr.parent, NodeRef(new_s));
+}
+
+std::vector<StmtPtr>
+rebuild_node(const ProcPtr& p, const Path& path, NodeRef node)
+{
+    if (path.empty())
+        throw InvalidCursorError("cannot rebuild at empty path");
+    const PathStep& first = path.front();
+    if (first.label != PathLabel::Body || first.index < 0 ||
+        first.index >= static_cast<int>(p->body_stmts().size())) {
+        throw InvalidCursorError("top-level body index out of range");
+    }
+    NodeRef root = p->body_stmts()[static_cast<size_t>(first.index)];
+    NodeRef new_root =
+        rebuild_rec(root, Path(path.begin() + 1, path.end()), 0, node);
+    auto body = p->body_stmts();
+    if (!std::holds_alternative<StmtPtr>(new_root))
+        throw InvalidCursorError("top-level node must be a statement");
+    body[static_cast<size_t>(first.index)] = std::get<StmtPtr>(new_root);
+    return body;
+}
+
+}  // namespace exo2

@@ -1,0 +1,70 @@
+#ifndef EXO2_CURSOR_NODE_H_
+#define EXO2_CURSOR_NODE_H_
+
+/**
+ * @file
+ * Path-based access to AST nodes, and path-directed rebuilding.
+ *
+ * These are the low-level mechanics behind Cursors: resolving a path to
+ * the node it denotes, and producing a new AST in which the node or list
+ * at a path has been replaced (sharing all untouched subtrees).
+ */
+
+#include <variant>
+#include <vector>
+
+#include "src/ir/proc.h"
+
+namespace exo2 {
+
+/** A reference to either a statement or an expression node. */
+using NodeRef = std::variant<StmtPtr, ExprPtr>;
+
+/** Address of a statement list: path to the parent stmt + Body/Orelse.
+ *  An empty parent path addresses the proc's top-level body. */
+struct ListAddr
+{
+    Path parent;
+    PathLabel label = PathLabel::Body;
+};
+
+/** Split a statement path into (list address, index within the list). */
+ListAddr list_addr_of(const Path& stmt_path, int* index_out);
+
+/** Resolve a path to a node. Throws InvalidCursorError if out of range. */
+NodeRef node_at(const ProcPtr& p, const Path& path);
+
+/** Resolve to a statement; throws InvalidCursorError on expressions. */
+StmtPtr stmt_at(const ProcPtr& p, const Path& path);
+
+/** Resolve to an expression; throws InvalidCursorError on statements. */
+ExprPtr expr_at(const ProcPtr& p, const Path& path);
+
+/** The statement list at a list address. */
+const std::vector<StmtPtr>& stmt_list_at(const ProcPtr& p,
+                                         const ListAddr& addr);
+
+/**
+ * Rebuild the proc body, replacing the list at `addr` with `new_list`.
+ */
+std::vector<StmtPtr> rebuild_list(const ProcPtr& p, const ListAddr& addr,
+                                  std::vector<StmtPtr> new_list);
+
+/**
+ * Rebuild the proc body, replacing the node at `path` with `node`.
+ * Statement nodes may only replace statement paths, and likewise for
+ * expressions.
+ */
+std::vector<StmtPtr> rebuild_node(const ProcPtr& p, const Path& path,
+                                  NodeRef node);
+
+/** Whether a path step addresses a statement-list child. */
+inline bool
+is_stmt_list_label(PathLabel l)
+{
+    return l == PathLabel::Body || l == PathLabel::Orelse;
+}
+
+}  // namespace exo2
+
+#endif  // EXO2_CURSOR_NODE_H_

@@ -1,0 +1,256 @@
+#include "src/cursor/pattern.h"
+
+#include <cstdlib>
+
+#include "src/frontend/parser.h"
+#include "src/ir/errors.h"
+
+namespace exo2 {
+
+namespace {
+
+bool
+is_wildcard_name(const std::string& n)
+{
+    return n == "_";
+}
+
+bool
+is_wildcard_expr(const ExprPtr& e)
+{
+    return e && e->kind() == ExprKind::Read && e->name() == "_" &&
+           e->idx().empty();
+}
+
+bool match_expr(const ExprPtr& pat, const ExprPtr& e);
+
+/** `[_]` as an index list matches any index list. */
+bool
+match_expr_list(const std::vector<ExprPtr>& pat,
+                const std::vector<ExprPtr>& es)
+{
+    if (pat.size() == 1 && is_wildcard_expr(pat[0]))
+        return true;
+    if (pat.size() != es.size())
+        return false;
+    for (size_t i = 0; i < pat.size(); i++) {
+        if (!match_expr(pat[i], es[i]))
+            return false;
+    }
+    return true;
+}
+
+bool
+match_expr(const ExprPtr& pat, const ExprPtr& e)
+{
+    if (is_wildcard_expr(pat))
+        return true;
+    if (!pat || !e || pat->kind() != e->kind())
+        return false;
+    switch (pat->kind()) {
+      case ExprKind::Const:
+        return pat->const_value() == e->const_value();
+      case ExprKind::Read:
+      case ExprKind::Extern:
+        if (!is_wildcard_name(pat->name()) && pat->name() != e->name())
+            return false;
+        return match_expr_list(pat->idx(), e->idx());
+      case ExprKind::BinOp:
+        return pat->op() == e->op() && match_expr(pat->lhs(), e->lhs()) &&
+               match_expr(pat->rhs(), e->rhs());
+      case ExprKind::USub:
+        return match_expr(pat->lhs(), e->lhs());
+      case ExprKind::Window:
+        return is_wildcard_name(pat->name()) || pat->name() == e->name();
+      case ExprKind::Stride:
+        return pat->name() == e->name() &&
+               pat->stride_dim() == e->stride_dim();
+      case ExprKind::ReadConfig:
+        return pat->name() == e->name() && pat->field() == e->field();
+    }
+    return false;
+}
+
+bool
+match_block(const std::vector<StmtPtr>& pat, const std::vector<StmtPtr>& b)
+{
+    if (pat.empty())
+        return true;  // `_` body: match anything
+    if (pat.size() != b.size())
+        return false;
+    for (size_t i = 0; i < pat.size(); i++) {
+        if (!pattern_match_stmt(pat[i], b[i]))
+            return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+bool
+pattern_match_stmt(const StmtPtr& pat, const StmtPtr& s)
+{
+    if (!pat || !s)
+        return false;
+    // `Call` patterns parsed without a resolvable callee store the name
+    // on the stmt itself.
+    if (pat->kind() != s->kind())
+        return false;
+    switch (pat->kind()) {
+      case StmtKind::Assign:
+      case StmtKind::Reduce:
+        if (!is_wildcard_name(pat->name()) && pat->name() != s->name())
+            return false;
+        if (!match_expr_list(pat->idx(), s->idx()))
+            return false;
+        return match_expr(pat->rhs(), s->rhs());
+      case StmtKind::Alloc:
+        return is_wildcard_name(pat->name()) || pat->name() == s->name();
+      case StmtKind::For: {
+        if (!is_wildcard_name(pat->iter()) && pat->iter() != s->iter())
+            return false;
+        if (!match_expr(pat->lo(), s->lo()) ||
+            !match_expr(pat->hi(), s->hi())) {
+            return false;
+        }
+        return match_block(pat->body(), s->body());
+      }
+      case StmtKind::If:
+        return match_expr(pat->cond(), s->cond()) &&
+               match_block(pat->body(), s->body()) &&
+               match_block(pat->orelse(), s->orelse());
+      case StmtKind::Pass:
+        return true;
+      case StmtKind::Call: {
+        std::string pat_name =
+            pat->callee() ? pat->callee()->name() : pat->name();
+        std::string s_name = s->callee() ? s->callee()->name() : s->name();
+        if (!is_wildcard_name(pat_name) && pat_name != s_name)
+            return false;
+        return match_expr_list(pat->args(), s->args());
+      }
+      case StmtKind::WriteConfig:
+        return (is_wildcard_name(pat->name()) || pat->name() == s->name()) &&
+               (is_wildcard_name(pat->field()) || pat->field() == s->field());
+      case StmtKind::WindowDecl:
+        return (is_wildcard_name(pat->name()) || pat->name() == s->name()) &&
+               match_expr(pat->rhs(), s->rhs());
+    }
+    return false;
+}
+
+namespace {
+
+/** Pre-order walk of all statements under a block, collecting matches. */
+void
+walk_block(const ProcPtr& p, const std::vector<StmtPtr>& block, Path path,
+           PathLabel label, const StmtPtr& pat, std::vector<Cursor>* out)
+{
+    for (size_t i = 0; i < block.size(); i++) {
+        Path here = path;
+        here.push_back({label, static_cast<int>(i)});
+        const StmtPtr& s = block[i];
+        if (pattern_match_stmt(pat, s)) {
+            CursorLoc l;
+            l.kind = CursorKind::Node;
+            l.path = here;
+            out->push_back(Cursor(p, std::move(l)));
+        }
+        if (!s->body().empty())
+            walk_block(p, s->body(), here, PathLabel::Body, pat, out);
+        if (!s->orelse().empty())
+            walk_block(p, s->orelse(), here, PathLabel::Orelse, pat, out);
+    }
+}
+
+/** Split a trailing " #k" selector off a pattern string. */
+std::string
+split_selector(const std::string& pattern, int* k_out)
+{
+    *k_out = -1;
+    auto pos = pattern.rfind(" #");
+    if (pos == std::string::npos)
+        return pattern;
+    *k_out = std::atoi(pattern.c_str() + pos + 2);
+    return pattern.substr(0, pos);
+}
+
+std::vector<Cursor>
+find_matching(const ProcPtr& p, const Path& prefix, const StmtPtr& pat)
+{
+    std::vector<Cursor> out;
+    if (prefix.empty()) {
+        walk_block(p, p->body_stmts(), {}, PathLabel::Body, pat, &out);
+        return out;
+    }
+    // Search the subtree rooted at `prefix` (including the root stmt).
+    StmtPtr root = stmt_at(p, prefix);
+    if (pattern_match_stmt(pat, root)) {
+        CursorLoc l;
+        l.kind = CursorKind::Node;
+        l.path = prefix;
+        out.push_back(Cursor(p, l));
+    }
+    Path parent = prefix;
+    if (!root->body().empty())
+        walk_block(p, root->body(), parent, PathLabel::Body, pat, &out);
+    if (!root->orelse().empty())
+        walk_block(p, root->orelse(), parent, PathLabel::Orelse, pat, &out);
+    return out;
+}
+
+}  // namespace
+
+std::vector<Cursor>
+pattern_find_all(const ProcPtr& p, const Path& prefix,
+                 const std::string& pattern)
+{
+    int k = -1;
+    std::string body = split_selector(pattern, &k);
+    StmtPtr pat = parse_pattern(body + "\n");
+    auto all = find_matching(p, prefix, pat);
+    if (k >= 0) {
+        if (k >= static_cast<int>(all.size()))
+            return {};
+        return {all[static_cast<size_t>(k)]};
+    }
+    return all;
+}
+
+Cursor
+pattern_find_one(const ProcPtr& p, const Path& prefix,
+                 const std::string& pattern)
+{
+    auto all = pattern_find_all(p, prefix, pattern);
+    if (all.empty()) {
+        throw SchedulingError("find: no match for pattern '" + pattern +
+                              "' in " + p->name());
+    }
+    return all.front();
+}
+
+Cursor
+pattern_find_loop(const ProcPtr& p, const Path& prefix,
+                  const std::string& name)
+{
+    int k = -1;
+    std::string base = split_selector(name, &k);
+    std::string pattern = "for " + base + " in _: _";
+    if (k >= 0)
+        pattern += " #" + std::to_string(k);
+    return pattern_find_one(p, prefix, pattern);
+}
+
+Cursor
+pattern_find_alloc(const ProcPtr& p, const Path& prefix,
+                   const std::string& name)
+{
+    int k = -1;
+    std::string base = split_selector(name, &k);
+    std::string pattern = base + ": _";
+    if (k >= 0)
+        pattern += " #" + std::to_string(k);
+    return pattern_find_one(p, prefix, pattern);
+}
+
+}  // namespace exo2

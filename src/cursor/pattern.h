@@ -1,0 +1,47 @@
+#ifndef EXO2_CURSOR_PATTERN_H_
+#define EXO2_CURSOR_PATTERN_H_
+
+/**
+ * @file
+ * Structural pattern matching for `Proc::find` (Section 2).
+ *
+ * Patterns are written in the object language with `_` wildcards, e.g.
+ * `"for i in _: _"`, `"y[_] += _"`, `"res = 0.0"`, `"a: _"` (alloc),
+ * `"do_ld(_)"` (call). A trailing `" #k"` selects the k-th match
+ * (0-based) as in Exo.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/cursor/cursor.h"
+
+namespace exo2 {
+
+/**
+ * All statements under `prefix` (pre-order) matching `pattern`.
+ * An empty prefix searches the whole procedure.
+ */
+std::vector<Cursor> pattern_find_all(const ProcPtr& p, const Path& prefix,
+                                     const std::string& pattern);
+
+/**
+ * The first (or `#k`-th) match; throws SchedulingError if absent.
+ */
+Cursor pattern_find_one(const ProcPtr& p, const Path& prefix,
+                        const std::string& pattern);
+
+/** First (or `"name #k"`-th) For loop with the given iterator name. */
+Cursor pattern_find_loop(const ProcPtr& p, const Path& prefix,
+                         const std::string& name);
+
+/** The Alloc statement introducing `name`. */
+Cursor pattern_find_alloc(const ProcPtr& p, const Path& prefix,
+                          const std::string& name);
+
+/** Direct structural test used by the finders (exposed for tests). */
+bool pattern_match_stmt(const StmtPtr& pat, const StmtPtr& s);
+
+}  // namespace exo2
+
+#endif  // EXO2_CURSOR_PATTERN_H_

@@ -1,0 +1,47 @@
+#ifndef EXO2_FRONTEND_LEXER_H_
+#define EXO2_FRONTEND_LEXER_H_
+
+/**
+ * @file
+ * Tokenizer for the object language: an indentation-aware lexer
+ * producing INDENT/DEDENT tokens in the Python style.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exo2 {
+
+/** Token kinds produced by the lexer. */
+enum class TokKind : uint8_t {
+    Name,      ///< identifier (including `_` wildcards)
+    Number,    ///< integer or floating literal
+    Symbol,    ///< punctuation / operator, spelled in `text`
+    Newline,
+    Indent,
+    Dedent,
+    EndOfFile,
+};
+
+/** A single token with source position for diagnostics. */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    double number = 0.0;
+    bool is_float = false;
+    int line = 0;
+    int col = 0;
+};
+
+/**
+ * Tokenize `src`. Throws SchedulingError on malformed input (bad
+ * indentation, unknown characters). Blank lines and `#` comments are
+ * skipped.
+ */
+std::vector<Token> tokenize(const std::string& src);
+
+}  // namespace exo2
+
+#endif  // EXO2_FRONTEND_LEXER_H_

@@ -1,0 +1,41 @@
+#ifndef EXO2_FRONTEND_PARSER_H_
+#define EXO2_FRONTEND_PARSER_H_
+
+/**
+ * @file
+ * Parser for the object language's Python-like concrete syntax.
+ *
+ * Kernels in `src/kernels/` are authored as text and parsed into the IR;
+ * the pattern sub-language used by `Proc::find` reuses this parser in a
+ * lenient mode where `_` wildcards are permitted.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/ir/proc.h"
+
+namespace exo2 {
+
+/**
+ * Parse a full `def name(...):` procedure. `procs` supplies resolvable
+ * callees for statement-level calls. Throws SchedulingError on syntax
+ * or scoping errors.
+ */
+ProcPtr parse_proc(const std::string& src,
+                   const std::vector<ProcPtr>& procs = {});
+
+/**
+ * Parse a single statement pattern with `_` wildcards for use by
+ * `Proc::find`. Conventions: an empty For/If body means "match any
+ * body"; a Read of `_` matches any expression; an index list `[_]`
+ * matches any index list; name `_` matches any name.
+ */
+StmtPtr parse_pattern(const std::string& src);
+
+/** Parse a standalone expression (names typed as Index). Test helper. */
+ExprPtr parse_expr_str(const std::string& src);
+
+}  // namespace exo2
+
+#endif  // EXO2_FRONTEND_PARSER_H_

@@ -1,0 +1,47 @@
+#ifndef EXO2_INSPECT_BOUNDS_H_
+#define EXO2_INSPECT_BOUNDS_H_
+
+/**
+ * @file
+ * User-level bounds inference (Section 4): determine the index window
+ * a scope may access of a buffer, by combining primitive cursor
+ * inspections (loop bounds, index expressions) with ordinary code that
+ * tracks free/bound variables — exactly the library the paper builds
+ * for its Halide reproduction (Section 6.3.2).
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cursor/cursor.h"
+
+namespace exo2 {
+namespace inspect {
+
+/**
+ * Per-dimension half-open bounds `[lo, hi)` of every access to `buf`
+ * inside the subtree at `scope`. Iterators bound within the scope are
+ * eliminated by substituting their extreme values; variables free
+ * outside the scope (including the scope's own loop iterator when
+ * `include_own_iter` is false... the iterator of `scope` itself stays
+ * free) appear symbolically in the result.
+ *
+ * Throws SchedulingError when an index is not affine in the bound
+ * iterators or the per-access bounds cannot be ordered.
+ */
+std::vector<WindowDim> infer_bounds(const ProcPtr& p, const Cursor& scope,
+                                    const std::string& buf);
+
+/** Bounds of only the reads / only the writes of `buf`. */
+std::vector<WindowDim> infer_read_bounds(const ProcPtr& p,
+                                         const Cursor& scope,
+                                         const std::string& buf);
+std::vector<WindowDim> infer_write_bounds(const ProcPtr& p,
+                                          const Cursor& scope,
+                                          const std::string& buf);
+
+}  // namespace inspect
+}  // namespace exo2
+
+#endif  // EXO2_INSPECT_BOUNDS_H_

@@ -1,0 +1,168 @@
+#ifndef EXO2_IR_BUILDER_H_
+#define EXO2_IR_BUILDER_H_
+
+/**
+ * @file
+ * Convenience constructors and operator overloads for authoring object
+ * code in C++. Most kernels in `src/kernels/` are written with the text
+ * parser instead; the builder is the programmatic escape hatch (and is
+ * what the parser itself uses).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/proc.h"
+
+namespace exo2 {
+
+/** Index-typed integer literal. */
+inline ExprPtr
+idx_const(int64_t v)
+{
+    return Expr::make_const(static_cast<double>(v), ScalarType::Index);
+}
+
+/** Floating literal of the given element type. */
+inline ExprPtr
+num_const(double v, ScalarType t = ScalarType::F32)
+{
+    return Expr::make_const(v, t);
+}
+
+/** Boolean literal. */
+inline ExprPtr
+bool_const(bool v)
+{
+    return Expr::make_const(v ? 1.0 : 0.0, ScalarType::Bool);
+}
+
+/** Read of an Index-typed scalar variable (loop iterator / size arg). */
+inline ExprPtr
+var(const std::string& name)
+{
+    return Expr::make_read(name, {}, ScalarType::Index);
+}
+
+/** Read of a buffer element (or numeric scalar if idx empty). */
+inline ExprPtr
+read(const std::string& name, std::vector<ExprPtr> idx,
+     ScalarType t = ScalarType::F32)
+{
+    return Expr::make_read(name, std::move(idx), t);
+}
+
+// Arithmetic operator overloads (found by ADL on ExprPtr).
+
+inline ExprPtr
+operator+(const ExprPtr& a, const ExprPtr& b)
+{
+    return Expr::make_binop(BinOpKind::Add, a, b);
+}
+
+inline ExprPtr
+operator-(const ExprPtr& a, const ExprPtr& b)
+{
+    return Expr::make_binop(BinOpKind::Sub, a, b);
+}
+
+inline ExprPtr
+operator*(const ExprPtr& a, const ExprPtr& b)
+{
+    return Expr::make_binop(BinOpKind::Mul, a, b);
+}
+
+inline ExprPtr
+operator/(const ExprPtr& a, const ExprPtr& b)
+{
+    return Expr::make_binop(BinOpKind::Div, a, b);
+}
+
+inline ExprPtr
+operator%(const ExprPtr& a, const ExprPtr& b)
+{
+    return Expr::make_binop(BinOpKind::Mod, a, b);
+}
+
+inline ExprPtr
+operator-(const ExprPtr& a)
+{
+    return Expr::make_usub(a);
+}
+
+/** Comparison helpers (named, to avoid surprising bool conversions). */
+inline ExprPtr
+lt(const ExprPtr& a, const ExprPtr& b)
+{
+    return Expr::make_binop(BinOpKind::Lt, a, b);
+}
+
+inline ExprPtr
+le(const ExprPtr& a, const ExprPtr& b)
+{
+    return Expr::make_binop(BinOpKind::Le, a, b);
+}
+
+inline ExprPtr
+gt(const ExprPtr& a, const ExprPtr& b)
+{
+    return Expr::make_binop(BinOpKind::Gt, a, b);
+}
+
+inline ExprPtr
+ge(const ExprPtr& a, const ExprPtr& b)
+{
+    return Expr::make_binop(BinOpKind::Ge, a, b);
+}
+
+inline ExprPtr
+eq(const ExprPtr& a, const ExprPtr& b)
+{
+    return Expr::make_binop(BinOpKind::Eq, a, b);
+}
+
+inline ExprPtr
+land(const ExprPtr& a, const ExprPtr& b)
+{
+    return Expr::make_binop(BinOpKind::And, a, b);
+}
+
+/** Size argument (`N: size`). */
+inline ProcArg
+size_arg(const std::string& name)
+{
+    ProcArg a;
+    a.name = name;
+    a.type = ScalarType::Index;
+    a.is_size = true;
+    return a;
+}
+
+/** Scalar numeric argument (`scale: f32`). */
+inline ProcArg
+scalar_arg(const std::string& name, ScalarType t)
+{
+    ProcArg a;
+    a.name = name;
+    a.type = t;
+    return a;
+}
+
+/** Dense buffer argument (`A: f32[M, N] @ DRAM`). */
+inline ProcArg
+buffer_arg(const std::string& name, ScalarType t, std::vector<ExprPtr> dims,
+           MemoryPtr mem = nullptr, bool is_window = false)
+{
+    ProcArg a;
+    a.name = name;
+    a.type = t;
+    a.dims = std::move(dims);
+    a.mem = mem ? std::move(mem) : mem_dram();
+    a.is_window = is_window;
+    return a;
+}
+
+}  // namespace exo2
+
+#endif  // EXO2_IR_BUILDER_H_

@@ -1,0 +1,47 @@
+#ifndef EXO2_IR_ERRORS_H_
+#define EXO2_IR_ERRORS_H_
+
+/**
+ * @file
+ * The three user-facing error kinds of Section 3.3 of the paper.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace exo2 {
+
+/**
+ * Raised by a primitive's safety analysis when a requested rewrite would
+ * not preserve functional equivalence. User schedules may catch this to
+ * fall back to a more general strategy (Section 3.3).
+ */
+class SchedulingError : public std::runtime_error
+{
+  public:
+    explicit SchedulingError(const std::string& msg)
+        : std::runtime_error("SchedulingError: " + msg) {}
+};
+
+/**
+ * Raised when cursor navigation or forwarding produces an invalid
+ * location (Section 5.2), e.g. `parent()` of a top-level statement.
+ */
+class InvalidCursorError : public std::runtime_error
+{
+  public:
+    explicit InvalidCursorError(const std::string& msg)
+        : std::runtime_error("InvalidCursorError: " + msg) {}
+};
+
+/** An internal compiler bug; never the user's fault. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string& msg)
+        : std::logic_error("InternalError: " + msg) {}
+};
+
+}  // namespace exo2
+
+#endif  // EXO2_IR_ERRORS_H_

@@ -1,0 +1,306 @@
+#include "src/ir/expr.h"
+
+#include <algorithm>
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+
+bool
+is_predicate_op(BinOpKind op)
+{
+    switch (op) {
+      case BinOpKind::Lt: case BinOpKind::Le: case BinOpKind::Gt:
+      case BinOpKind::Ge: case BinOpKind::Eq: case BinOpKind::Ne:
+      case BinOpKind::And: case BinOpKind::Or:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+binop_name(BinOpKind op)
+{
+    switch (op) {
+      case BinOpKind::Add: return "+";
+      case BinOpKind::Sub: return "-";
+      case BinOpKind::Mul: return "*";
+      case BinOpKind::Div: return "/";
+      case BinOpKind::Mod: return "%";
+      case BinOpKind::Lt: return "<";
+      case BinOpKind::Le: return "<=";
+      case BinOpKind::Gt: return ">";
+      case BinOpKind::Ge: return ">=";
+      case BinOpKind::Eq: return "==";
+      case BinOpKind::Ne: return "!=";
+      case BinOpKind::And: return "and";
+      case BinOpKind::Or: return "or";
+    }
+    throw InternalError("unknown binop");
+}
+
+ExprPtr
+Expr::make_const(double v, ScalarType t)
+{
+    auto e = std::shared_ptr<Expr>(new Expr());
+    e->kind_ = ExprKind::Const;
+    e->type_ = t;
+    e->const_value_ = v;
+    return e;
+}
+
+ExprPtr
+Expr::make_read(std::string name, std::vector<ExprPtr> idx, ScalarType t)
+{
+    auto e = std::shared_ptr<Expr>(new Expr());
+    e->kind_ = ExprKind::Read;
+    e->type_ = t;
+    e->name_ = std::move(name);
+    e->idx_ = std::move(idx);
+    return e;
+}
+
+ExprPtr
+Expr::make_binop(BinOpKind op, ExprPtr lhs, ExprPtr rhs)
+{
+    if (!lhs || !rhs)
+        throw InternalError("make_binop: null operand");
+    auto e = std::shared_ptr<Expr>(new Expr());
+    e->kind_ = ExprKind::BinOp;
+    e->type_ = is_predicate_op(op) ? ScalarType::Bool : lhs->type();
+    e->op_ = op;
+    e->lhs_ = std::move(lhs);
+    e->rhs_ = std::move(rhs);
+    return e;
+}
+
+ExprPtr
+Expr::make_usub(ExprPtr sub)
+{
+    auto e = std::shared_ptr<Expr>(new Expr());
+    e->kind_ = ExprKind::USub;
+    e->type_ = sub->type();
+    e->lhs_ = std::move(sub);
+    return e;
+}
+
+ExprPtr
+Expr::make_window(std::string name, std::vector<WindowDim> dims, ScalarType t)
+{
+    auto e = std::shared_ptr<Expr>(new Expr());
+    e->kind_ = ExprKind::Window;
+    e->type_ = t;
+    e->name_ = std::move(name);
+    e->wdims_ = std::move(dims);
+    return e;
+}
+
+ExprPtr
+Expr::make_stride(std::string name, int dim)
+{
+    auto e = std::shared_ptr<Expr>(new Expr());
+    e->kind_ = ExprKind::Stride;
+    e->type_ = ScalarType::Index;
+    e->name_ = std::move(name);
+    e->stride_dim_ = dim;
+    return e;
+}
+
+ExprPtr
+Expr::make_read_config(std::string cfg, std::string field, ScalarType t)
+{
+    auto e = std::shared_ptr<Expr>(new Expr());
+    e->kind_ = ExprKind::ReadConfig;
+    e->type_ = t;
+    e->name_ = std::move(cfg);
+    e->field_ = std::move(field);
+    return e;
+}
+
+ExprPtr
+Expr::make_extern(std::string fn, std::vector<ExprPtr> args, ScalarType t)
+{
+    auto e = std::shared_ptr<Expr>(new Expr());
+    e->kind_ = ExprKind::Extern;
+    e->type_ = t;
+    e->name_ = std::move(fn);
+    e->idx_ = std::move(args);
+    return e;
+}
+
+std::vector<ExprPtr>
+Expr::children() const
+{
+    switch (kind_) {
+      case ExprKind::Const:
+      case ExprKind::Stride:
+      case ExprKind::ReadConfig:
+        return {};
+      case ExprKind::Read:
+      case ExprKind::Extern:
+        return idx_;
+      case ExprKind::BinOp:
+        return {lhs_, rhs_};
+      case ExprKind::USub:
+        return {lhs_};
+      case ExprKind::Window: {
+        std::vector<ExprPtr> out;
+        for (const auto& d : wdims_) {
+            out.push_back(d.lo);
+            if (d.hi)
+                out.push_back(d.hi);
+        }
+        return out;
+      }
+    }
+    throw InternalError("unknown expr kind");
+}
+
+ExprPtr
+Expr::with_children(std::vector<ExprPtr> children) const
+{
+    switch (kind_) {
+      case ExprKind::Const:
+      case ExprKind::Stride:
+      case ExprKind::ReadConfig:
+        if (!children.empty())
+            throw InternalError("with_children: leaf expr");
+        return std::shared_ptr<Expr>(new Expr(*this));
+      case ExprKind::Read:
+        return make_read(name_, std::move(children), type_);
+      case ExprKind::Extern:
+        return make_extern(name_, std::move(children), type_);
+      case ExprKind::BinOp:
+        if (children.size() != 2)
+            throw InternalError("with_children: binop arity");
+        return make_binop(op_, children[0], children[1]);
+      case ExprKind::USub:
+        if (children.size() != 1)
+            throw InternalError("with_children: usub arity");
+        return make_usub(children[0]);
+      case ExprKind::Window: {
+        std::vector<WindowDim> dims;
+        size_t i = 0;
+        for (const auto& d : wdims_) {
+            WindowDim nd;
+            nd.lo = children.at(i++);
+            if (d.hi)
+                nd.hi = children.at(i++);
+            dims.push_back(nd);
+        }
+        if (i != children.size())
+            throw InternalError("with_children: window arity");
+        return make_window(name_, std::move(dims), type_);
+      }
+    }
+    throw InternalError("unknown expr kind");
+}
+
+bool
+expr_equal(const ExprPtr& a, const ExprPtr& b)
+{
+    if (a == b)
+        return true;
+    if (!a || !b)
+        return false;
+    if (a->kind() != b->kind() || a->type() != b->type())
+        return false;
+    switch (a->kind()) {
+      case ExprKind::Const:
+        return a->const_value() == b->const_value();
+      case ExprKind::Read:
+      case ExprKind::Extern: {
+        if (a->name() != b->name() || a->idx().size() != b->idx().size())
+            return false;
+        for (size_t i = 0; i < a->idx().size(); i++) {
+            if (!expr_equal(a->idx()[i], b->idx()[i]))
+                return false;
+        }
+        return true;
+      }
+      case ExprKind::BinOp:
+        return a->op() == b->op() && expr_equal(a->lhs(), b->lhs()) &&
+               expr_equal(a->rhs(), b->rhs());
+      case ExprKind::USub:
+        return expr_equal(a->lhs(), b->lhs());
+      case ExprKind::Window: {
+        if (a->name() != b->name() ||
+            a->window_dims().size() != b->window_dims().size()) {
+            return false;
+        }
+        for (size_t i = 0; i < a->window_dims().size(); i++) {
+            const auto& da = a->window_dims()[i];
+            const auto& db = b->window_dims()[i];
+            if (da.is_point() != db.is_point())
+                return false;
+            if (!expr_equal(da.lo, db.lo))
+                return false;
+            if (da.hi && !expr_equal(da.hi, db.hi))
+                return false;
+        }
+        return true;
+      }
+      case ExprKind::Stride:
+        return a->name() == b->name() && a->stride_dim() == b->stride_dim();
+      case ExprKind::ReadConfig:
+        return a->name() == b->name() && a->field() == b->field();
+    }
+    throw InternalError("unknown expr kind");
+}
+
+ExprPtr
+expr_subst(const ExprPtr& e, const std::string& name, const ExprPtr& repl)
+{
+    if (!e)
+        return e;
+    if (e->kind() == ExprKind::Read && e->name() == name &&
+        e->idx().empty()) {
+        return repl;
+    }
+    auto kids = e->children();
+    bool changed = false;
+    for (auto& k : kids) {
+        auto nk = expr_subst(k, name, repl);
+        if (nk != k) {
+            changed = true;
+            k = nk;
+        }
+    }
+    if (!changed)
+        return e;
+    return e->with_children(std::move(kids));
+}
+
+void
+expr_collect_reads(const ExprPtr& e, std::vector<std::string>* out)
+{
+    if (!e)
+        return;
+    if (e->kind() == ExprKind::Read || e->kind() == ExprKind::Window ||
+        e->kind() == ExprKind::Stride) {
+        if (std::find(out->begin(), out->end(), e->name()) == out->end())
+            out->push_back(e->name());
+    }
+    for (const auto& k : e->children())
+        expr_collect_reads(k, out);
+}
+
+bool
+expr_uses(const ExprPtr& e, const std::string& name)
+{
+    if (!e)
+        return false;
+    if ((e->kind() == ExprKind::Read || e->kind() == ExprKind::Window ||
+         e->kind() == ExprKind::Stride) &&
+        e->name() == name) {
+        return true;
+    }
+    for (const auto& k : e->children()) {
+        if (expr_uses(k, name))
+            return true;
+    }
+    return false;
+}
+
+}  // namespace exo2

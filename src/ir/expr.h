@@ -1,0 +1,152 @@
+#ifndef EXO2_IR_EXPR_H_
+#define EXO2_IR_EXPR_H_
+
+/**
+ * @file
+ * Expressions of the Exo 2 object language.
+ *
+ * Expressions are immutable and shared; scheduling primitives rebuild
+ * the spine of the AST along the edited path and share every untouched
+ * subtree, which is what makes cursor forwarding (Section 5.2)
+ * well-defined.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/type.h"
+
+namespace exo2 {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/** Expression node kinds. */
+enum class ExprKind : uint8_t {
+    Const,      ///< Numeric / boolean literal.
+    Read,       ///< Scalar variable or buffer element read: `A[i, j]`.
+    BinOp,      ///< Binary arithmetic / comparison / logic.
+    USub,       ///< Unary negation.
+    Window,     ///< Buffer window `A[0:n, j]`; call arguments only.
+    Stride,     ///< `stride(A, dim)`; resolved at call boundaries.
+    ReadConfig, ///< Configuration-state read: `cfg.field` (Appendix A.8).
+    Extern,     ///< Opaque extern scalar function, e.g. `relu(x)`.
+};
+
+/** Binary operators. Div/Mod are floor semantics on Index type. */
+enum class BinOpKind : uint8_t {
+    Add, Sub, Mul, Div, Mod,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    And, Or,
+};
+
+/** True for Lt..Ne / And / Or (result type Bool). */
+bool is_predicate_op(BinOpKind op);
+
+/** Object-language spelling, e.g. "+" or "<=". */
+std::string binop_name(BinOpKind op);
+
+/**
+ * One dimension of a Window expression: either a point `e` or an
+ * interval `lo:hi` (half-open).
+ */
+struct WindowDim
+{
+    ExprPtr lo;           ///< Point expr, or interval low bound.
+    ExprPtr hi;           ///< Null for a point access.
+    bool is_point() const { return hi == nullptr; }
+};
+
+/**
+ * An immutable expression node.
+ *
+ * A single class with a kind tag (rather than a virtual hierarchy) keeps
+ * structural operations — equality, substitution, path navigation,
+ * unification — in one place each.
+ */
+class Expr
+{
+  public:
+    ExprKind kind() const { return kind_; }
+    ScalarType type() const { return type_; }
+
+    /** Literal value (Const). Bools are 0.0/1.0. */
+    double const_value() const { return const_value_; }
+
+    /** Variable / buffer / config name (Read, Window, Stride, ReadConfig,
+     *  Extern function name). */
+    const std::string& name() const { return name_; }
+
+    /** Config field (ReadConfig). */
+    const std::string& field() const { return field_; }
+
+    /** Buffer indices (Read), or extern-call arguments (Extern). */
+    const std::vector<ExprPtr>& idx() const { return idx_; }
+
+    /** Window dimensions (Window). */
+    const std::vector<WindowDim>& window_dims() const { return wdims_; }
+
+    /** Operator (BinOp). */
+    BinOpKind op() const { return op_; }
+    const ExprPtr& lhs() const { return lhs_; }
+    const ExprPtr& rhs() const { return rhs_; }
+
+    /** Stride dimension (Stride). */
+    int stride_dim() const { return stride_dim_; }
+
+    // -- Factories -------------------------------------------------------
+
+    static ExprPtr make_const(double v, ScalarType t);
+    static ExprPtr make_read(std::string name, std::vector<ExprPtr> idx,
+                             ScalarType t);
+    static ExprPtr make_binop(BinOpKind op, ExprPtr lhs, ExprPtr rhs);
+    static ExprPtr make_usub(ExprPtr e);
+    static ExprPtr make_window(std::string name, std::vector<WindowDim> dims,
+                               ScalarType t);
+    static ExprPtr make_stride(std::string name, int dim);
+    static ExprPtr make_read_config(std::string cfg, std::string field,
+                                    ScalarType t);
+    static ExprPtr make_extern(std::string fn, std::vector<ExprPtr> args,
+                               ScalarType t);
+
+    /** Rebuild with the same kind but new children. */
+    ExprPtr with_children(std::vector<ExprPtr> children) const;
+
+    /** All expression children in path order (see cursor/path.h). */
+    std::vector<ExprPtr> children() const;
+
+  private:
+    Expr() = default;
+
+    ExprKind kind_ = ExprKind::Const;
+    ScalarType type_ = ScalarType::Index;
+    double const_value_ = 0.0;
+    std::string name_;
+    std::string field_;
+    std::vector<ExprPtr> idx_;
+    std::vector<WindowDim> wdims_;
+    BinOpKind op_ = BinOpKind::Add;
+    ExprPtr lhs_;
+    ExprPtr rhs_;
+    int stride_dim_ = 0;
+};
+
+/** Deep structural equality (names compared literally). */
+bool expr_equal(const ExprPtr& a, const ExprPtr& b);
+
+/** Substitute reads of scalar variable `name` with `repl` throughout. */
+ExprPtr expr_subst(const ExprPtr& e, const std::string& name,
+                   const ExprPtr& repl);
+
+/** Collect names of all variables/buffers read by `e` (including idx). */
+void expr_collect_reads(const ExprPtr& e, std::vector<std::string>* out);
+
+/** True if `e` reads variable or buffer `name` anywhere. */
+bool expr_uses(const ExprPtr& e, const std::string& name);
+
+}  // namespace exo2
+
+#endif  // EXO2_IR_EXPR_H_

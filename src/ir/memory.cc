@@ -1,0 +1,82 @@
+#include "src/ir/memory.h"
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+
+namespace {
+
+MemoryPtr
+make(const char* name, MemoryKind kind, int vec_bytes = 0,
+     int64_t capacity = 0)
+{
+    return std::make_shared<const Memory>(name, kind, vec_bytes, capacity);
+}
+
+}  // namespace
+
+MemoryPtr
+mem_dram()
+{
+    static MemoryPtr m = make("DRAM", MemoryKind::Dram);
+    return m;
+}
+
+MemoryPtr
+mem_dram_static()
+{
+    static MemoryPtr m = make("DRAM_STATIC", MemoryKind::Dram);
+    return m;
+}
+
+MemoryPtr
+mem_dram_stack()
+{
+    static MemoryPtr m = make("DRAM_STACK", MemoryKind::Dram);
+    return m;
+}
+
+MemoryPtr
+mem_avx2()
+{
+    static MemoryPtr m = make("AVX2", MemoryKind::Vector, 32);
+    return m;
+}
+
+MemoryPtr
+mem_avx512()
+{
+    static MemoryPtr m = make("AVX512", MemoryKind::Vector, 64);
+    return m;
+}
+
+MemoryPtr
+mem_gemm_scratch()
+{
+    static MemoryPtr m =
+        make("GEMM_SCRATCH", MemoryKind::Scratchpad, 0, 256 * 1024);
+    return m;
+}
+
+MemoryPtr
+mem_gemm_accum()
+{
+    static MemoryPtr m =
+        make("GEMM_ACCUM", MemoryKind::Accumulator, 0, 16 * 1024);
+    return m;
+}
+
+MemoryPtr
+memory_from_name(const std::string& name)
+{
+    if (name == "DRAM") return mem_dram();
+    if (name == "DRAM_STATIC") return mem_dram_static();
+    if (name == "DRAM_STACK") return mem_dram_stack();
+    if (name == "AVX2" || name == "VEC_AVX2") return mem_avx2();
+    if (name == "AVX512" || name == "VEC_AVX512") return mem_avx512();
+    if (name == "GEMM_SCRATCH") return mem_gemm_scratch();
+    if (name == "GEMM_ACCUM") return mem_gemm_accum();
+    throw InternalError("unknown memory space: " + name);
+}
+
+}  // namespace exo2

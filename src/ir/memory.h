@@ -1,0 +1,83 @@
+#ifndef EXO2_IR_MEMORY_H_
+#define EXO2_IR_MEMORY_H_
+
+/**
+ * @file
+ * Memory spaces (`@DRAM`, `@AVX512`, `@GEMM_SCRATCH`, ...).
+ *
+ * Exo externalizes hardware memories to user code; here memory spaces
+ * are registered objects that buffers and arguments are annotated with.
+ * Backend checks (Appendix A.7) validate that accesses obey each
+ * memory's constraints.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace exo2 {
+
+/** Broad behavioural class of a memory space. */
+enum class MemoryKind : uint8_t {
+    Dram,        ///< Plain addressable memory (DRAM, DRAM_STATIC, ...).
+    Vector,      ///< SIMD register file; innermost dim must fit one vector.
+    Scratchpad,  ///< Accelerator-managed scratchpad (Gemmini).
+    Accumulator, ///< Accelerator accumulator (Gemmini).
+};
+
+/**
+ * A named memory space.
+ *
+ * Vector memories carry the register width in bytes so the backend check
+ * can verify that the innermost dimension of any buffer placed there fits
+ * exactly one vector register of the element type.
+ */
+class Memory
+{
+  public:
+    Memory(std::string name, MemoryKind kind, int vector_bytes = 0,
+           int64_t capacity_bytes = 0)
+        : name_(std::move(name)), kind_(kind), vector_bytes_(vector_bytes),
+          capacity_bytes_(capacity_bytes) {}
+
+    const std::string& name() const { return name_; }
+    MemoryKind kind() const { return kind_; }
+
+    /** Vector register width in bytes; 0 for non-vector memories. */
+    int vector_bytes() const { return vector_bytes_; }
+
+    /** Capacity in bytes; 0 means unbounded. */
+    int64_t capacity_bytes() const { return capacity_bytes_; }
+
+    bool is_vector() const { return kind_ == MemoryKind::Vector; }
+
+  private:
+    std::string name_;
+    MemoryKind kind_;
+    int vector_bytes_;
+    int64_t capacity_bytes_;
+};
+
+using MemoryPtr = std::shared_ptr<const Memory>;
+
+/** Default memory: plain DRAM. */
+MemoryPtr mem_dram();
+/** Function-static DRAM (GEMM panel caches). */
+MemoryPtr mem_dram_static();
+/** Stack-allocated DRAM (Halide store_in target). */
+MemoryPtr mem_dram_stack();
+/** AVX2 vector register file (32-byte registers). */
+MemoryPtr mem_avx2();
+/** AVX512 vector register file (64-byte registers). */
+MemoryPtr mem_avx512();
+/** Gemmini 256 KiB scratchpad. */
+MemoryPtr mem_gemm_scratch();
+/** Gemmini 16 KiB accumulator. */
+MemoryPtr mem_gemm_accum();
+
+/** Look up one of the built-in memories by name; throws InternalError. */
+MemoryPtr memory_from_name(const std::string& name);
+
+}  // namespace exo2
+
+#endif  // EXO2_IR_MEMORY_H_

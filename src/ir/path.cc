@@ -1,0 +1,44 @@
+#include "src/ir/path.h"
+
+#include <sstream>
+
+namespace exo2 {
+
+std::string
+path_label_name(PathLabel l)
+{
+    switch (l) {
+      case PathLabel::Body: return "body";
+      case PathLabel::Orelse: return "orelse";
+      case PathLabel::Cond: return "cond";
+      case PathLabel::Lo: return "lo";
+      case PathLabel::Hi: return "hi";
+      case PathLabel::Rhs: return "rhs";
+      case PathLabel::Idx: return "idx";
+      case PathLabel::Dim: return "dim";
+      case PathLabel::Arg: return "arg";
+      case PathLabel::OpLhs: return "lhs";
+      case PathLabel::OpRhs: return "rhs";
+    }
+    return "?";
+}
+
+std::string
+CursorLoc::to_string() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < path.size(); i++) {
+        if (i)
+            os << ".";
+        os << path_label_name(path[i].label);
+        if (path[i].index >= 0)
+            os << "[" << path[i].index << "]";
+    }
+    if (kind == CursorKind::Gap)
+        os << " (gap)";
+    if (kind == CursorKind::Block)
+        os << ":" << hi << " (block)";
+    return os.str();
+}
+
+}  // namespace exo2

@@ -1,0 +1,95 @@
+#ifndef EXO2_IR_PATH_H_
+#define EXO2_IR_PATH_H_
+
+/**
+ * @file
+ * Spatial coordinates of cursors (Section 5.2, "Implementation").
+ *
+ * A path describes navigation in the AST as a downward traversal: each
+ * step is a label-index pair, where the index is -1 if the child is not
+ * a list. A CursorLoc is a proc-independent location — the spatial half
+ * of a Cursor; forwarding functions map CursorLocs to CursorLocs.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace exo2 {
+
+/** Labels of AST children, for both statements and expressions. */
+enum class PathLabel : uint8_t {
+    Body,   ///< For/If body list (list)
+    Orelse, ///< If else list (list)
+    Cond,   ///< If condition (expr)
+    Lo,     ///< For lower bound (expr)
+    Hi,     ///< For upper bound (expr)
+    Rhs,    ///< Assign/Reduce/WriteConfig/WindowDecl rhs (expr)
+    Idx,    ///< Assign/Reduce LHS indices (list of exprs)
+    Dim,    ///< Alloc dims (list of exprs)
+    Arg,    ///< Call arguments (list of exprs)
+    OpLhs,  ///< BinOp/USub left operand (expr)
+    OpRhs,  ///< BinOp right operand (expr)
+};
+
+/** Printable label name ("body", "rhs", ...). */
+std::string path_label_name(PathLabel l);
+
+/** One downward step: (label, index); index is -1 for non-list children. */
+struct PathStep
+{
+    PathLabel label;
+    int index = -1;
+
+    bool operator==(const PathStep& o) const
+    {
+        return label == o.label && index == o.index;
+    }
+};
+
+using Path = std::vector<PathStep>;
+
+/** What a cursor selects (Section 5.2): node, gap, or statement block. */
+enum class CursorKind : uint8_t {
+    Node,  ///< A single statement or expression.
+    Gap,   ///< The gap before statement `index` of a list (index in 0..n).
+    Block, ///< Statements [index, hi) of a list.
+};
+
+/**
+ * A proc-independent cursor location: kind + path (+ block end).
+ *
+ * For Node cursors the last path step identifies the node. For Gap
+ * cursors the last step's index is the gap position g (the gap sits
+ * before statement g; g == n is the gap at the end). For Block cursors
+ * the last step's index is the inclusive start and `hi` the exclusive
+ * end of the selected range.
+ */
+struct CursorLoc
+{
+    CursorKind kind = CursorKind::Node;
+    Path path;
+    int hi = -1;  ///< Block end (exclusive); unused otherwise.
+
+    bool operator==(const CursorLoc& o) const
+    {
+        return kind == o.kind && path == o.path && hi == o.hi;
+    }
+
+    /** Render as e.g. "body[1].body[0].rhs" for diagnostics. */
+    std::string to_string() const;
+};
+
+/**
+ * A forwarding function maps a location in procedure p to the
+ * corresponding location in the rewritten procedure p'; nullopt means
+ * the cursor was invalidated by the rewrite (Section 5.2).
+ */
+using ForwardFn =
+    std::function<std::optional<CursorLoc>(const CursorLoc&)>;
+
+}  // namespace exo2
+
+#endif  // EXO2_IR_PATH_H_

@@ -1,0 +1,233 @@
+#include "src/ir/printer.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+
+namespace {
+
+/** Operator precedence for minimal parenthesization. */
+int
+prec(BinOpKind op)
+{
+    switch (op) {
+      case BinOpKind::Or: return 1;
+      case BinOpKind::And: return 2;
+      case BinOpKind::Lt: case BinOpKind::Le: case BinOpKind::Gt:
+      case BinOpKind::Ge: case BinOpKind::Eq: case BinOpKind::Ne:
+        return 3;
+      case BinOpKind::Add: case BinOpKind::Sub:
+        return 4;
+      case BinOpKind::Mul: case BinOpKind::Div: case BinOpKind::Mod:
+        return 5;
+    }
+    return 0;
+}
+
+std::string
+print_const(const Expr& e)
+{
+    std::ostringstream os;
+    if (e.type() == ScalarType::Bool)
+        return e.const_value() != 0.0 ? "True" : "False";
+    double v = e.const_value();
+    if (e.type() == ScalarType::Index || is_integer(e.type())) {
+        os << static_cast<int64_t>(v);
+    } else if (v == std::floor(v) && std::abs(v) < 1e15) {
+        os << static_cast<int64_t>(v) << ".0";
+    } else {
+        os << v;
+    }
+    return os.str();
+}
+
+std::string print_expr_prec(const ExprPtr& e, int parent_prec);
+
+std::string
+print_idx_list(const std::vector<ExprPtr>& idx)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < idx.size(); i++) {
+        if (i)
+            os << ", ";
+        os << print_expr_prec(idx[i], 0);
+    }
+    return os.str();
+}
+
+std::string
+print_expr_prec(const ExprPtr& e, int parent_prec)
+{
+    if (!e)
+        return "<null>";
+    switch (e->kind()) {
+      case ExprKind::Const:
+        return print_const(*e);
+      case ExprKind::Read: {
+        if (e->idx().empty())
+            return e->name();
+        return e->name() + "[" + print_idx_list(e->idx()) + "]";
+      }
+      case ExprKind::BinOp: {
+        int p = prec(e->op());
+        std::string s = print_expr_prec(e->lhs(), p) + " " +
+                        binop_name(e->op()) + " " +
+                        print_expr_prec(e->rhs(), p + 1);
+        if (p < parent_prec)
+            return "(" + s + ")";
+        return s;
+      }
+      case ExprKind::USub: {
+        std::string s = "-" + print_expr_prec(e->lhs(), 6);
+        if (parent_prec > 5)
+            return "(" + s + ")";
+        return s;
+      }
+      case ExprKind::Window: {
+        std::ostringstream os;
+        os << e->name() << "[";
+        const auto& dims = e->window_dims();
+        for (size_t i = 0; i < dims.size(); i++) {
+            if (i)
+                os << ", ";
+            os << print_expr_prec(dims[i].lo, 0);
+            if (!dims[i].is_point())
+                os << ":" << print_expr_prec(dims[i].hi, 0);
+        }
+        os << "]";
+        return os.str();
+      }
+      case ExprKind::Stride: {
+        std::ostringstream os;
+        os << "stride(" << e->name() << ", " << e->stride_dim() << ")";
+        return os.str();
+      }
+      case ExprKind::ReadConfig:
+        return e->name() + "." + e->field();
+      case ExprKind::Extern:
+        return e->name() + "(" + print_idx_list(e->idx()) + ")";
+    }
+    throw InternalError("unknown expr kind");
+}
+
+std::string
+indent_str(int indent)
+{
+    return std::string(4 * static_cast<size_t>(indent), ' ');
+}
+
+}  // namespace
+
+std::string
+print_expr(const ExprPtr& e)
+{
+    return print_expr_prec(e, 0);
+}
+
+std::string
+print_stmt(const StmtPtr& s, int indent)
+{
+    std::ostringstream os;
+    std::string pad = indent_str(indent);
+    switch (s->kind()) {
+      case StmtKind::Assign:
+      case StmtKind::Reduce: {
+        os << pad << s->name();
+        if (!s->idx().empty())
+            os << "[" << print_idx_list(s->idx()) << "]";
+        os << (s->kind() == StmtKind::Assign ? " = " : " += ");
+        os << print_expr(s->rhs()) << "\n";
+        break;
+      }
+      case StmtKind::Alloc: {
+        os << pad << s->name() << ": " << type_name(s->type());
+        if (!s->dims().empty())
+            os << "[" << print_idx_list(s->dims()) << "]";
+        os << " @ " << s->mem()->name() << "\n";
+        break;
+      }
+      case StmtKind::For: {
+        os << pad << "for " << s->iter() << " in "
+           << (s->loop_mode() == LoopMode::Par ? "par" : "seq") << "("
+           << print_expr(s->lo()) << ", " << print_expr(s->hi()) << "):\n";
+        os << print_block(s->body(), indent + 1);
+        break;
+      }
+      case StmtKind::If: {
+        os << pad << "if " << print_expr(s->cond()) << ":\n";
+        os << print_block(s->body(), indent + 1);
+        if (!s->orelse().empty()) {
+            os << pad << "else:\n";
+            os << print_block(s->orelse(), indent + 1);
+        }
+        break;
+      }
+      case StmtKind::Pass:
+        os << pad << "pass\n";
+        break;
+      case StmtKind::Call: {
+        os << pad << (s->callee() ? s->callee()->name() : "<null>") << "("
+           << print_idx_list(s->args()) << ")\n";
+        break;
+      }
+      case StmtKind::WriteConfig: {
+        os << pad << s->name() << "." << s->field() << " = "
+           << print_expr(s->rhs()) << "\n";
+        break;
+      }
+      case StmtKind::WindowDecl: {
+        os << pad << s->name() << " = " << print_expr(s->rhs()) << "\n";
+        break;
+      }
+    }
+    return os.str();
+}
+
+std::string
+print_block(const std::vector<StmtPtr>& block, int indent)
+{
+    std::ostringstream os;
+    for (const auto& s : block)
+        os << print_stmt(s, indent);
+    return os.str();
+}
+
+std::string
+print_proc(const ProcPtr& p)
+{
+    std::ostringstream os;
+    os << "def " << p->name() << "(";
+    const auto& args = p->args();
+    for (size_t i = 0; i < args.size(); i++) {
+        if (i)
+            os << ", ";
+        const auto& a = args[i];
+        os << a.name << ": ";
+        if (a.is_size) {
+            os << "size";
+        } else if (a.dims.empty()) {
+            os << type_name(a.type);
+        } else {
+            if (a.is_window)
+                os << "[" << type_name(a.type) << "]";
+            else
+                os << type_name(a.type);
+            os << "[" << print_idx_list(a.dims) << "]";
+            if (a.mem)
+                os << " @ " << a.mem->name();
+        }
+    }
+    os << "):\n";
+    for (const auto& pred : p->preds())
+        os << "    assert " << print_expr(pred) << "\n";
+    if (p->body_stmts().empty())
+        os << "    pass\n";
+    else
+        os << print_block(p->body_stmts(), 1);
+    return os.str();
+}
+
+}  // namespace exo2

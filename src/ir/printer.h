@@ -1,0 +1,30 @@
+#ifndef EXO2_IR_PRINTER_H_
+#define EXO2_IR_PRINTER_H_
+
+/**
+ * @file
+ * Pretty printer for the object language, in the paper's Python-like
+ * concrete syntax. `parse_proc(print_proc(p))` round-trips.
+ */
+
+#include <string>
+
+#include "src/ir/proc.h"
+
+namespace exo2 {
+
+/** Render an expression (with minimal parentheses). */
+std::string print_expr(const ExprPtr& e);
+
+/** Render one statement at the given indent level (4 spaces per level). */
+std::string print_stmt(const StmtPtr& s, int indent = 0);
+
+/** Render a block of statements. */
+std::string print_block(const std::vector<StmtPtr>& block, int indent = 0);
+
+/** Render a whole procedure, starting with `def name(...):`. */
+std::string print_proc(const ProcPtr& p);
+
+}  // namespace exo2
+
+#endif  // EXO2_IR_PRINTER_H_

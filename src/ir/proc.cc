@@ -1,0 +1,115 @@
+#include "src/ir/proc.h"
+
+#include <atomic>
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+
+uint64_t
+Proc::next_uid()
+{
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1);
+}
+
+const ProcArg*
+Proc::find_arg(const std::string& name) const
+{
+    for (const auto& a : args_) {
+        if (a.name == name)
+            return &a;
+    }
+    return nullptr;
+}
+
+ProcPtr
+Proc::make(std::string name, std::vector<ProcArg> args,
+           std::vector<ExprPtr> preds, std::vector<StmtPtr> body,
+           std::optional<InstrInfo> instr)
+{
+    auto p = std::shared_ptr<Proc>(new Proc());
+    p->name_ = std::move(name);
+    p->args_ = std::move(args);
+    p->preds_ = std::move(preds);
+    p->body_ = std::move(body);
+    p->instr_ = std::move(instr);
+    p->uid_ = next_uid();
+    p->root_uid_ = p->uid_;
+    return p;
+}
+
+ProcPtr
+Proc::with_body(std::vector<StmtPtr> body, ForwardFn fwd,
+                std::string action) const
+{
+    auto p = std::shared_ptr<Proc>(new Proc(*this));
+    p->body_ = std::move(body);
+    p->uid_ = next_uid();
+    auto prov = std::make_shared<Provenance>();
+    prov->parent = shared_from_this();
+    prov->fwd = std::move(fwd);
+    prov->action = std::move(action);
+    p->provenance_ = std::move(prov);
+    return p;
+}
+
+ProcPtr
+Proc::with_signature(std::vector<ProcArg> args, std::vector<ExprPtr> preds,
+                     std::vector<StmtPtr> body, ForwardFn fwd,
+                     std::string action) const
+{
+    auto p = std::shared_ptr<Proc>(new Proc(*this));
+    p->args_ = std::move(args);
+    p->preds_ = std::move(preds);
+    p->body_ = std::move(body);
+    p->uid_ = next_uid();
+    auto prov = std::make_shared<Provenance>();
+    prov->parent = shared_from_this();
+    prov->fwd = std::move(fwd);
+    prov->action = std::move(action);
+    p->provenance_ = std::move(prov);
+    return p;
+}
+
+ProcPtr
+Proc::renamed(std::string new_name) const
+{
+    auto identity = [](const CursorLoc& l) {
+        return std::optional<CursorLoc>(l);
+    };
+    auto p = std::shared_ptr<Proc>(new Proc(*this));
+    p->name_ = std::move(new_name);
+    p->uid_ = next_uid();
+    auto prov = std::make_shared<Provenance>();
+    prov->parent = shared_from_this();
+    prov->fwd = identity;
+    prov->action = "rename";
+    p->provenance_ = std::move(prov);
+    return p;
+}
+
+ProcPtr
+Proc::with_assertion(ExprPtr pred) const
+{
+    auto identity = [](const CursorLoc& l) {
+        return std::optional<CursorLoc>(l);
+    };
+    auto p = std::shared_ptr<Proc>(new Proc(*this));
+    p->preds_.push_back(std::move(pred));
+    p->uid_ = next_uid();
+    auto prov = std::make_shared<Provenance>();
+    prov->parent = shared_from_this();
+    prov->fwd = identity;
+    prov->action = "add_assertion";
+    p->provenance_ = std::move(prov);
+    return p;
+}
+
+bool
+procs_equivalent(const ProcPtr& a, const ProcPtr& b)
+{
+    return a && b && a->root_uid() == b->root_uid();
+}
+
+}  // namespace exo2

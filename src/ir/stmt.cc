@@ -1,0 +1,331 @@
+#include "src/ir/stmt.h"
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+
+StmtPtr
+Stmt::make_assign(std::string name, std::vector<ExprPtr> idx, ExprPtr rhs,
+                  ScalarType t)
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt());
+    s->kind_ = StmtKind::Assign;
+    s->name_ = std::move(name);
+    s->idx_ = std::move(idx);
+    s->rhs_ = std::move(rhs);
+    s->type_ = t;
+    return s;
+}
+
+StmtPtr
+Stmt::make_reduce(std::string name, std::vector<ExprPtr> idx, ExprPtr rhs,
+                  ScalarType t)
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt());
+    s->kind_ = StmtKind::Reduce;
+    s->name_ = std::move(name);
+    s->idx_ = std::move(idx);
+    s->rhs_ = std::move(rhs);
+    s->type_ = t;
+    return s;
+}
+
+StmtPtr
+Stmt::make_alloc(std::string name, ScalarType t, std::vector<ExprPtr> dims,
+                 MemoryPtr mem)
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt());
+    s->kind_ = StmtKind::Alloc;
+    s->name_ = std::move(name);
+    s->type_ = t;
+    s->dims_ = std::move(dims);
+    s->mem_ = mem ? std::move(mem) : mem_dram();
+    return s;
+}
+
+StmtPtr
+Stmt::make_for(std::string iter, ExprPtr lo, ExprPtr hi,
+               std::vector<StmtPtr> body, LoopMode mode)
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt());
+    s->kind_ = StmtKind::For;
+    s->iter_ = std::move(iter);
+    s->lo_ = std::move(lo);
+    s->hi_ = std::move(hi);
+    s->body_ = std::move(body);
+    s->loop_mode_ = mode;
+    return s;
+}
+
+StmtPtr
+Stmt::make_if(ExprPtr cond, std::vector<StmtPtr> body,
+              std::vector<StmtPtr> orelse)
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt());
+    s->kind_ = StmtKind::If;
+    s->cond_ = std::move(cond);
+    s->body_ = std::move(body);
+    s->orelse_ = std::move(orelse);
+    return s;
+}
+
+StmtPtr
+Stmt::make_pass()
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt());
+    s->kind_ = StmtKind::Pass;
+    return s;
+}
+
+StmtPtr
+Stmt::make_call(ProcPtr callee, std::vector<ExprPtr> args)
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt());
+    s->kind_ = StmtKind::Call;
+    s->callee_ = std::move(callee);
+    s->args_ = std::move(args);
+    return s;
+}
+
+StmtPtr
+Stmt::make_write_config(std::string cfg, std::string field, ExprPtr rhs)
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt());
+    s->kind_ = StmtKind::WriteConfig;
+    s->name_ = std::move(cfg);
+    s->field_ = std::move(field);
+    s->rhs_ = std::move(rhs);
+    return s;
+}
+
+StmtPtr
+Stmt::make_window_decl(std::string name, ExprPtr window, ScalarType t)
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt());
+    s->kind_ = StmtKind::WindowDecl;
+    s->name_ = std::move(name);
+    s->rhs_ = std::move(window);
+    s->type_ = t;
+    return s;
+}
+
+#define EXO2_STMT_WITH(FIELD, PARAMT, PARAM)                                 \
+    StmtPtr Stmt::with_##FIELD(PARAMT PARAM) const                          \
+    {                                                                        \
+        auto s = std::shared_ptr<Stmt>(new Stmt(*this));                    \
+        s->FIELD##_ = std::move(PARAM);                                     \
+        return s;                                                            \
+    }
+
+EXO2_STMT_WITH(body, std::vector<StmtPtr>, body)
+EXO2_STMT_WITH(orelse, std::vector<StmtPtr>, orelse)
+EXO2_STMT_WITH(rhs, ExprPtr, rhs)
+EXO2_STMT_WITH(cond, ExprPtr, cond)
+EXO2_STMT_WITH(idx, std::vector<ExprPtr>, idx)
+EXO2_STMT_WITH(dims, std::vector<ExprPtr>, dims)
+EXO2_STMT_WITH(args, std::vector<ExprPtr>, args)
+EXO2_STMT_WITH(name, std::string, name)
+EXO2_STMT_WITH(iter, std::string, iter)
+EXO2_STMT_WITH(mem, MemoryPtr, mem)
+EXO2_STMT_WITH(callee, ProcPtr, callee)
+
+#undef EXO2_STMT_WITH
+
+StmtPtr
+Stmt::with_bounds(ExprPtr lo, ExprPtr hi) const
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt(*this));
+    s->lo_ = std::move(lo);
+    s->hi_ = std::move(hi);
+    return s;
+}
+
+StmtPtr
+Stmt::with_type(ScalarType t) const
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt(*this));
+    s->type_ = t;
+    return s;
+}
+
+StmtPtr
+Stmt::with_loop_mode(LoopMode mode) const
+{
+    auto s = std::shared_ptr<Stmt>(new Stmt(*this));
+    s->loop_mode_ = mode;
+    return s;
+}
+
+bool
+stmt_equal(const StmtPtr& a, const StmtPtr& b)
+{
+    if (a == b)
+        return true;
+    if (!a || !b || a->kind() != b->kind())
+        return false;
+    switch (a->kind()) {
+      case StmtKind::Assign:
+      case StmtKind::Reduce: {
+        if (a->name() != b->name() || a->type() != b->type() ||
+            a->idx().size() != b->idx().size()) {
+            return false;
+        }
+        for (size_t i = 0; i < a->idx().size(); i++) {
+            if (!expr_equal(a->idx()[i], b->idx()[i]))
+                return false;
+        }
+        return expr_equal(a->rhs(), b->rhs());
+      }
+      case StmtKind::Alloc: {
+        if (a->name() != b->name() || a->type() != b->type() ||
+            a->mem() != b->mem() || a->dims().size() != b->dims().size()) {
+            return false;
+        }
+        for (size_t i = 0; i < a->dims().size(); i++) {
+            if (!expr_equal(a->dims()[i], b->dims()[i]))
+                return false;
+        }
+        return true;
+      }
+      case StmtKind::For:
+        return a->iter() == b->iter() &&
+               a->loop_mode() == b->loop_mode() &&
+               expr_equal(a->lo(), b->lo()) &&
+               expr_equal(a->hi(), b->hi()) &&
+               block_equal(a->body(), b->body());
+      case StmtKind::If:
+        return expr_equal(a->cond(), b->cond()) &&
+               block_equal(a->body(), b->body()) &&
+               block_equal(a->orelse(), b->orelse());
+      case StmtKind::Pass:
+        return true;
+      case StmtKind::Call: {
+        if (a->callee() != b->callee() || a->args().size() != b->args().size())
+            return false;
+        for (size_t i = 0; i < a->args().size(); i++) {
+            if (!expr_equal(a->args()[i], b->args()[i]))
+                return false;
+        }
+        return true;
+      }
+      case StmtKind::WriteConfig:
+        return a->name() == b->name() && a->field() == b->field() &&
+               expr_equal(a->rhs(), b->rhs());
+      case StmtKind::WindowDecl:
+        return a->name() == b->name() && expr_equal(a->rhs(), b->rhs());
+    }
+    throw InternalError("unknown stmt kind");
+}
+
+bool
+block_equal(const std::vector<StmtPtr>& a, const std::vector<StmtPtr>& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); i++) {
+        if (!stmt_equal(a[i], b[i]))
+            return false;
+    }
+    return true;
+}
+
+StmtPtr
+stmt_subst(const StmtPtr& s, const std::string& name, const ExprPtr& repl)
+{
+    if (!s)
+        return s;
+    // A binder with the same name shadows `name` below it.
+    if (s->kind() == StmtKind::For && s->iter() == name) {
+        return s->with_bounds(expr_subst(s->lo(), name, repl),
+                              expr_subst(s->hi(), name, repl));
+    }
+    switch (s->kind()) {
+      case StmtKind::Assign:
+      case StmtKind::Reduce: {
+        std::vector<ExprPtr> idx;
+        idx.reserve(s->idx().size());
+        for (const auto& e : s->idx())
+            idx.push_back(expr_subst(e, name, repl));
+        return s->with_idx(std::move(idx))
+                ->with_rhs(expr_subst(s->rhs(), name, repl));
+      }
+      case StmtKind::Alloc: {
+        std::vector<ExprPtr> dims;
+        dims.reserve(s->dims().size());
+        for (const auto& e : s->dims())
+            dims.push_back(expr_subst(e, name, repl));
+        return s->with_dims(std::move(dims));
+      }
+      case StmtKind::For:
+        return s->with_bounds(expr_subst(s->lo(), name, repl),
+                              expr_subst(s->hi(), name, repl))
+                ->with_body(block_subst(s->body(), name, repl));
+      case StmtKind::If:
+        return s->with_cond(expr_subst(s->cond(), name, repl))
+                ->with_body(block_subst(s->body(), name, repl))
+                ->with_orelse(block_subst(s->orelse(), name, repl));
+      case StmtKind::Pass:
+        return s;
+      case StmtKind::Call: {
+        std::vector<ExprPtr> args;
+        args.reserve(s->args().size());
+        for (const auto& e : s->args())
+            args.push_back(expr_subst(e, name, repl));
+        return s->with_args(std::move(args));
+      }
+      case StmtKind::WriteConfig:
+      case StmtKind::WindowDecl:
+        return s->with_rhs(expr_subst(s->rhs(), name, repl));
+    }
+    throw InternalError("unknown stmt kind");
+}
+
+std::vector<StmtPtr>
+block_subst(const std::vector<StmtPtr>& b, const std::string& name,
+            const ExprPtr& repl)
+{
+    std::vector<StmtPtr> out;
+    out.reserve(b.size());
+    for (const auto& s : b)
+        out.push_back(stmt_subst(s, name, repl));
+    return out;
+}
+
+bool
+stmt_uses(const StmtPtr& s, const std::string& name)
+{
+    if (!s)
+        return false;
+    if (s->name() == name &&
+        (s->kind() == StmtKind::Assign || s->kind() == StmtKind::Reduce ||
+         s->kind() == StmtKind::Alloc || s->kind() == StmtKind::WindowDecl)) {
+        return true;
+    }
+    for (const auto& e : s->idx()) {
+        if (expr_uses(e, name))
+            return true;
+    }
+    for (const auto& e : s->dims()) {
+        if (expr_uses(e, name))
+            return true;
+    }
+    for (const auto& e : s->args()) {
+        if (expr_uses(e, name))
+            return true;
+    }
+    if (expr_uses(s->rhs(), name) || expr_uses(s->cond(), name) ||
+        expr_uses(s->lo(), name) || expr_uses(s->hi(), name)) {
+        return true;
+    }
+    for (const auto& c : s->body()) {
+        if (stmt_uses(c, name))
+            return true;
+    }
+    for (const auto& c : s->orelse()) {
+        if (stmt_uses(c, name))
+            return true;
+    }
+    return false;
+}
+
+}  // namespace exo2

@@ -1,0 +1,183 @@
+#ifndef EXO2_IR_STMT_H_
+#define EXO2_IR_STMT_H_
+
+/**
+ * @file
+ * Statements of the Exo 2 object language.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/expr.h"
+#include "src/ir/memory.h"
+
+namespace exo2 {
+
+class Stmt;
+class Proc;
+using StmtPtr = std::shared_ptr<const Stmt>;
+using ProcPtr = std::shared_ptr<const Proc>;
+
+/** Statement node kinds. */
+enum class StmtKind : uint8_t {
+    Assign,      ///< `y[i] = e`
+    Reduce,      ///< `y[i] += e`
+    Alloc,       ///< `a : f32[n, m] @ DRAM`
+    For,         ///< `for i in seq(lo, hi): body`
+    If,          ///< `if cond: body else: orelse`
+    Pass,        ///< no-op
+    Call,        ///< call to a sub-procedure or hardware instruction
+    WriteConfig, ///< `cfg.field = e` (Appendix A.8)
+    WindowDecl,  ///< `w = a[0:n, j]` window aliasing statement
+};
+
+/** Execution mode of a For loop (Appendix A.7 parallelize_loop). */
+enum class LoopMode : uint8_t {
+    Seq,
+    Par,
+};
+
+/**
+ * An immutable statement node. Like Expr, a single tagged class: the
+ * uniform child-access interface is what paths and forwarding traverse.
+ */
+class Stmt
+{
+  public:
+    StmtKind kind() const { return kind_; }
+
+    /** Target name (Assign/Reduce/Alloc/WindowDecl), callee name (Call),
+     *  or config name (WriteConfig). */
+    const std::string& name() const { return name_; }
+
+    /** Config field (WriteConfig). */
+    const std::string& field() const { return field_; }
+
+    /** LHS indices (Assign/Reduce). */
+    const std::vector<ExprPtr>& idx() const { return idx_; }
+
+    /** RHS (Assign/Reduce/WriteConfig), window expr (WindowDecl). */
+    const ExprPtr& rhs() const { return rhs_; }
+
+    /** Element type (Assign/Reduce/Alloc/WindowDecl). */
+    ScalarType type() const { return type_; }
+
+    /** Buffer dims (Alloc); empty means scalar. */
+    const std::vector<ExprPtr>& dims() const { return dims_; }
+
+    /** Memory space (Alloc). */
+    const MemoryPtr& mem() const { return mem_; }
+
+    /** Loop iterator (For). */
+    const std::string& iter() const { return iter_; }
+    const ExprPtr& lo() const { return lo_; }
+    const ExprPtr& hi() const { return hi_; }
+    LoopMode loop_mode() const { return loop_mode_; }
+
+    /** Condition (If). */
+    const ExprPtr& cond() const { return cond_; }
+
+    /** Loop / then-branch body (For/If). */
+    const std::vector<StmtPtr>& body() const { return body_; }
+
+    /** Else branch (If); may be empty. */
+    const std::vector<StmtPtr>& orelse() const { return orelse_; }
+
+    /** Callee procedure (Call). */
+    const ProcPtr& callee() const { return callee_; }
+
+    /** Call arguments (Call). */
+    const std::vector<ExprPtr>& args() const { return args_; }
+
+    // -- Factories -------------------------------------------------------
+
+    static StmtPtr make_assign(std::string name, std::vector<ExprPtr> idx,
+                               ExprPtr rhs, ScalarType t);
+    static StmtPtr make_reduce(std::string name, std::vector<ExprPtr> idx,
+                               ExprPtr rhs, ScalarType t);
+    static StmtPtr make_alloc(std::string name, ScalarType t,
+                              std::vector<ExprPtr> dims, MemoryPtr mem);
+    static StmtPtr make_for(std::string iter, ExprPtr lo, ExprPtr hi,
+                            std::vector<StmtPtr> body,
+                            LoopMode mode = LoopMode::Seq);
+    static StmtPtr make_if(ExprPtr cond, std::vector<StmtPtr> body,
+                           std::vector<StmtPtr> orelse = {});
+    static StmtPtr make_pass();
+    static StmtPtr make_call(ProcPtr callee, std::vector<ExprPtr> args);
+    static StmtPtr make_write_config(std::string cfg, std::string field,
+                                     ExprPtr rhs);
+    static StmtPtr make_window_decl(std::string name, ExprPtr window,
+                                    ScalarType t);
+
+    // -- Rebuilders (shallow copies with one field replaced) -------------
+
+    StmtPtr with_body(std::vector<StmtPtr> body) const;
+    StmtPtr with_orelse(std::vector<StmtPtr> orelse) const;
+    StmtPtr with_rhs(ExprPtr rhs) const;
+    StmtPtr with_cond(ExprPtr cond) const;
+    StmtPtr with_bounds(ExprPtr lo, ExprPtr hi) const;
+    StmtPtr with_idx(std::vector<ExprPtr> idx) const;
+    StmtPtr with_dims(std::vector<ExprPtr> dims) const;
+    StmtPtr with_args(std::vector<ExprPtr> args) const;
+    StmtPtr with_name(std::string name) const;
+    StmtPtr with_iter(std::string iter) const;
+    StmtPtr with_mem(MemoryPtr mem) const;
+    StmtPtr with_type(ScalarType t) const;
+    StmtPtr with_loop_mode(LoopMode mode) const;
+    StmtPtr with_callee(ProcPtr callee) const;
+
+    /** Whether this statement kind writes data (Assign/Reduce/Call/...). */
+    bool is_write() const
+    {
+        return kind_ == StmtKind::Assign || kind_ == StmtKind::Reduce;
+    }
+
+  private:
+    Stmt() = default;
+
+    StmtKind kind_ = StmtKind::Pass;
+    std::string name_;
+    std::string field_;
+    std::vector<ExprPtr> idx_;
+    ExprPtr rhs_;
+    ScalarType type_ = ScalarType::F32;
+    std::vector<ExprPtr> dims_;
+    MemoryPtr mem_;
+    std::string iter_;
+    ExprPtr lo_;
+    ExprPtr hi_;
+    LoopMode loop_mode_ = LoopMode::Seq;
+    ExprPtr cond_;
+    std::vector<StmtPtr> body_;
+    std::vector<StmtPtr> orelse_;
+    ProcPtr callee_;
+    std::vector<ExprPtr> args_;
+};
+
+/** Deep structural equality of statements (and their subtrees). */
+bool stmt_equal(const StmtPtr& a, const StmtPtr& b);
+
+/** Deep structural equality of statement blocks. */
+bool block_equal(const std::vector<StmtPtr>& a, const std::vector<StmtPtr>& b);
+
+/**
+ * Substitute scalar variable `name` by expression `repl` in all
+ * expressions of `s` (recursively). Does not rename binders.
+ */
+StmtPtr stmt_subst(const StmtPtr& s, const std::string& name,
+                   const ExprPtr& repl);
+
+/** Substitute in a whole block. */
+std::vector<StmtPtr> block_subst(const std::vector<StmtPtr>& b,
+                                 const std::string& name,
+                                 const ExprPtr& repl);
+
+/** True if any expression under `s` reads `name`, or `s` writes it. */
+bool stmt_uses(const StmtPtr& s, const std::string& name);
+
+}  // namespace exo2
+
+#endif  // EXO2_IR_STMT_H_

@@ -1,0 +1,87 @@
+#include "src/ir/type.h"
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+
+bool
+is_numeric(ScalarType t)
+{
+    switch (t) {
+      case ScalarType::F32:
+      case ScalarType::F64:
+      case ScalarType::I8:
+      case ScalarType::I32:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+is_float(ScalarType t)
+{
+    return t == ScalarType::F32 || t == ScalarType::F64;
+}
+
+bool
+is_integer(ScalarType t)
+{
+    return t == ScalarType::I8 || t == ScalarType::I32;
+}
+
+int
+type_size_bytes(ScalarType t)
+{
+    switch (t) {
+      case ScalarType::F32: return 4;
+      case ScalarType::F64: return 8;
+      case ScalarType::I8: return 1;
+      case ScalarType::I32: return 4;
+      case ScalarType::Bool: return 1;
+      case ScalarType::Index: return 8;
+    }
+    throw InternalError("unknown scalar type");
+}
+
+std::string
+type_name(ScalarType t)
+{
+    switch (t) {
+      case ScalarType::F32: return "f32";
+      case ScalarType::F64: return "f64";
+      case ScalarType::I8: return "i8";
+      case ScalarType::I32: return "i32";
+      case ScalarType::Bool: return "bool";
+      case ScalarType::Index: return "size";
+    }
+    throw InternalError("unknown scalar type");
+}
+
+std::string
+type_c_name(ScalarType t)
+{
+    switch (t) {
+      case ScalarType::F32: return "float";
+      case ScalarType::F64: return "double";
+      case ScalarType::I8: return "int8_t";
+      case ScalarType::I32: return "int32_t";
+      case ScalarType::Bool: return "bool";
+      case ScalarType::Index: return "int64_t";
+    }
+    throw InternalError("unknown scalar type");
+}
+
+ScalarType
+type_from_name(const std::string& name)
+{
+    if (name == "f32") return ScalarType::F32;
+    if (name == "f64") return ScalarType::F64;
+    if (name == "i8") return ScalarType::I8;
+    if (name == "i32") return ScalarType::I32;
+    if (name == "bool") return ScalarType::Bool;
+    if (name == "size" || name == "index") return ScalarType::Index;
+    throw InternalError("unknown scalar type name: " + name);
+}
+
+}  // namespace exo2

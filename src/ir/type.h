@@ -1,0 +1,52 @@
+#ifndef EXO2_IR_TYPE_H_
+#define EXO2_IR_TYPE_H_
+
+/**
+ * @file
+ * Scalar types of the Exo 2 object language.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace exo2 {
+
+/**
+ * Scalar element types supported by the object language.
+ *
+ * `Index` is the type of size arguments, loop iterators, and index
+ * expressions; `Bool` is the type of predicates (loop guards, asserts).
+ */
+enum class ScalarType : uint8_t {
+    F32,
+    F64,
+    I8,
+    I32,
+    Bool,
+    Index,
+};
+
+/** True for the numeric buffer element types (f32/f64/i8/i32). */
+bool is_numeric(ScalarType t);
+
+/** True for the floating-point element types. */
+bool is_float(ScalarType t);
+
+/** True for the integer element types (i8/i32), excluding Index. */
+bool is_integer(ScalarType t);
+
+/** Size of one element in bytes as laid out by codegen / the simulator. */
+int type_size_bytes(ScalarType t);
+
+/** Object-language spelling, e.g. "f32". */
+std::string type_name(ScalarType t);
+
+/** C spelling used by codegen, e.g. "float". */
+std::string type_c_name(ScalarType t);
+
+/** Parse an object-language spelling; throws InternalError on failure. */
+ScalarType type_from_name(const std::string& name);
+
+}  // namespace exo2
+
+#endif  // EXO2_IR_TYPE_H_

@@ -1,0 +1,59 @@
+#include "src/kernels/image.h"
+
+#include "src/frontend/parser.h"
+
+namespace exo2 {
+namespace kernels {
+
+namespace {
+
+// The tiled schedules use 32x256 tiles (Figure 11); sizes are asserted
+// to be whole multiples.
+const char* kBlur = R"(
+def blur(H: size, W: size, inp: f32[H + 2, W + 2] @ DRAM, blur_y: f32[H, W] @ DRAM):
+    assert H % 32 == 0
+    assert W % 256 == 0
+    blur_x: f32[H + 2, W] @ DRAM
+    for y in seq(0, H + 2):
+        for x in seq(0, W):
+            blur_x[y, x] = (inp[y, x] + inp[y, x + 1] + inp[y, x + 2]) * 0.33333334
+    for y in seq(0, H):
+        for x in seq(0, W):
+            blur_y[y, x] = (blur_x[y, x] + blur_x[y + 1, x] + blur_x[y + 2, x]) * 0.33333334
+)";
+
+const char* kUnsharp = R"(
+def unsharp(H: size, W: size, inp: f32[H + 2, W + 2] @ DRAM, out: f32[H, W] @ DRAM):
+    assert H % 32 == 0
+    assert W % 256 == 0
+    bx: f32[H + 2, W] @ DRAM
+    for y in seq(0, H + 2):
+        for x in seq(0, W):
+            bx[y, x] = (inp[y, x] + inp[y, x + 1] + inp[y, x + 2]) * 0.33333334
+    by: f32[H, W] @ DRAM
+    for y in seq(0, H):
+        for x in seq(0, W):
+            by[y, x] = (bx[y, x] + bx[y + 1, x] + bx[y + 2, x]) * 0.33333334
+    for y in seq(0, H):
+        for x in seq(0, W):
+            out[y, x] = 2.0 * inp[y + 1, x + 1] - by[y, x]
+)";
+
+}  // namespace
+
+ProcPtr
+blur()
+{
+    static ProcPtr p = parse_proc(kBlur);
+    return p;
+}
+
+ProcPtr
+unsharp()
+{
+    static ProcPtr p = parse_proc(kUnsharp);
+    return p;
+}
+
+}  // namespace kernels
+}  // namespace exo2

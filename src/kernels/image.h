@@ -1,0 +1,25 @@
+#ifndef EXO2_KERNELS_IMAGE_H_
+#define EXO2_KERNELS_IMAGE_H_
+
+/**
+ * @file
+ * Image-processing pipelines for the Halide reproduction
+ * (Section 6.3.2): 3x3 box blur and unsharp masking. As in the paper,
+ * image sizes are restricted to whole multiples of the tile size.
+ */
+
+#include "src/ir/proc.h"
+
+namespace exo2 {
+namespace kernels {
+
+/** Separable 3x3 box blur: blur_x then blur_y (Figure 11's algorithm). */
+ProcPtr blur();
+
+/** Unsharp mask: two blur stages then `out = 2*in - blurred`. */
+ProcPtr unsharp();
+
+}  // namespace kernels
+}  // namespace exo2
+
+#endif  // EXO2_KERNELS_IMAGE_H_

@@ -1,0 +1,367 @@
+#include "src/machine/machine.h"
+
+#include "src/frontend/parser.h"
+#include "src/ir/errors.h"
+
+namespace exo2 {
+
+std::vector<ProcPtr>
+VecInstrSet::all() const
+{
+    std::vector<ProcPtr> out;
+    // Compute patterns first so fused forms win over separated ones;
+    // masked variants before unmasked so guards match.
+    for (const ProcPtr& p :
+         {r_fma, r_add, r_sub, r_mul, r_abs, r_neg, r_acc, r_broadcast,
+          r_load, r_store, m_fma, m_add, m_sub, m_mul, m_abs, m_neg,
+          m_acc, m_broadcast, fma, add, sub, mul, reduce_add, vabs, vneg,
+          acc, zero, broadcast, load_pred, store_pred, load, store}) {
+        if (p)
+            out.push_back(p);
+    }
+    return out;
+}
+
+namespace {
+
+struct InstrSpec
+{
+    std::string name;
+    std::string src;
+    double cycles;
+    std::string cls;
+};
+
+ProcPtr
+make_instr(const InstrSpec& spec)
+{
+    ProcPtr body = parse_proc(spec.src);
+    InstrInfo info;
+    info.c_template = spec.name;
+    info.cycles = spec.cycles;
+    info.instr_class = spec.cls;
+    return Proc::make(spec.name, body->args(), body->preds(),
+                      body->body_stmts(), info);
+}
+
+std::string
+fmt(std::string tpl, const std::string& key, const std::string& value)
+{
+    for (;;) {
+        auto pos = tpl.find(key);
+        if (pos == std::string::npos)
+            return tpl;
+        tpl.replace(pos, key.size(), value);
+    }
+}
+
+/** Build the instruction set for (prefix, memory, precision, width). */
+VecInstrSet
+build_vec_set(const std::string& prefix, const std::string& mem,
+              ScalarType t, int w, bool predication, bool fma)
+{
+    VecInstrSet set;
+    std::string T = type_name(t);
+    std::string sfx = (t == ScalarType::F32) ? "ps" : "pd";
+    auto sub = [&](const char* tpl) {
+        std::string s = tpl;
+        s = fmt(s, "{W}", std::to_string(w));
+        s = fmt(s, "{T}", T);
+        s = fmt(s, "{MEM}", mem);
+        return s;
+    };
+    auto I = [&](const std::string& op, const char* tpl, double cycles,
+                 const std::string& cls) {
+        InstrSpec spec;
+        spec.name = prefix + "_" + op + "_" + sfx;
+        spec.src = fmt(sub(tpl), "{NAME}", spec.name);
+        spec.cycles = cycles;
+        spec.cls = cls;
+        return make_instr(spec);
+    };
+
+    set.load = I("loadu", R"(
+def {NAME}(dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ DRAM):
+    for i in seq(0, {W}):
+        dst[i] = src[i]
+)",
+                 1.0, "load");
+    set.store = I("storeu", R"(
+def {NAME}(dst: [{T}][{W}] @ DRAM, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        dst[i] = src[i]
+)",
+                  1.0, "store");
+    if (predication) {
+        set.load_pred = I("maskz_loadu", R"(
+def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][m] @ DRAM):
+    for i in seq(0, {W}):
+        if i < m:
+            dst[i] = src[i]
+)",
+                          1.0, "load");
+        set.store_pred = I("mask_storeu", R"(
+def {NAME}(m: size, dst: [{T}][m] @ DRAM, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i < m:
+            dst[i] = src[i]
+)",
+                           1.0, "store");
+    }
+    set.broadcast = I("set1", R"(
+def {NAME}(dst: [{T}][{W}] @ {MEM}, val: {T}):
+    for i in seq(0, {W}):
+        dst[i] = val
+)",
+                      1.0, "broadcast");
+    set.zero = I("setzero", R"(
+def {NAME}(dst: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        dst[i] = 0.0
+)",
+                 1.0, "arith");
+    set.add = I("add", R"(
+def {NAME}(dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        dst[i] = a[i] + b[i]
+)",
+                1.0, "arith");
+    set.sub = I("sub", R"(
+def {NAME}(dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        dst[i] = a[i] - b[i]
+)",
+                1.0, "arith");
+    set.mul = I("mul", R"(
+def {NAME}(dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        dst[i] = a[i] * b[i]
+)",
+                1.0, "arith");
+    if (fma) {
+        set.fma = I("fmadd", R"(
+def {NAME}(a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}, dst: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        dst[i] += a[i] * b[i]
+)",
+                    1.0, "fma");
+    }
+    set.reduce_add = I("reduce_add", R"(
+def {NAME}(dst: [{T}][1] @ DRAM, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        dst[0] += src[i]
+)",
+                       4.0, "reduce");
+    set.vabs = I("abs", R"(
+def {NAME}(dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        dst[i] = abs(src[i])
+)",
+                 1.0, "arith");
+    set.vneg = I("neg", R"(
+def {NAME}(dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        dst[i] = -src[i]
+)",
+                 1.0, "arith");
+    set.acc = I("addacc", R"(
+def {NAME}(dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        dst[i] += src[i]
+)",
+                1.0, "arith");
+    if (predication) {
+        set.m_broadcast = I("maskz_set1", R"(
+def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, val: {T}):
+    for i in seq(0, {W}):
+        if i < m:
+            dst[i] = val
+)",
+                            1.0, "broadcast");
+        set.m_add = I("maskz_add", R"(
+def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i < m:
+            dst[i] = a[i] + b[i]
+)",
+                      1.0, "arith");
+        set.m_sub = I("maskz_sub", R"(
+def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i < m:
+            dst[i] = a[i] - b[i]
+)",
+                      1.0, "arith");
+        set.m_mul = I("maskz_mul", R"(
+def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i < m:
+            dst[i] = a[i] * b[i]
+)",
+                      1.0, "arith");
+        if (fma) {
+            set.m_fma = I("mask_fmadd", R"(
+def {NAME}(m: size, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}, dst: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i < m:
+            dst[i] += a[i] * b[i]
+)",
+                          1.0, "fma");
+        }
+        set.m_abs = I("maskz_abs", R"(
+def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i < m:
+            dst[i] = abs(src[i])
+)",
+                      1.0, "arith");
+        set.m_neg = I("maskz_neg", R"(
+def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i < m:
+            dst[i] = -src[i]
+)",
+                      1.0, "arith");
+        set.m_acc = I("mask_addacc", R"(
+def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i < m:
+            dst[i] += src[i]
+)",
+                      1.0, "arith");
+        // Range-masked (two-sided) forms for triangular guards. A real
+        // ISA realizes these with one extra mask-register compare.
+        set.r_load = I("rmask_loadu", R"(
+def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][m] @ DRAM):
+    for i in seq(0, {W}):
+        if i >= l and i < m:
+            dst[i] = src[i]
+)",
+                       1.0, "load");
+        set.r_store = I("rmask_storeu", R"(
+def {NAME}(l: size, m: size, dst: [{T}][m] @ DRAM, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i >= l and i < m:
+            dst[i] = src[i]
+)",
+                        1.0, "store");
+        set.r_broadcast = I("rmask_set1", R"(
+def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, val: {T}):
+    for i in seq(0, {W}):
+        if i >= l and i < m:
+            dst[i] = val
+)",
+                            1.0, "broadcast");
+        set.r_add = I("rmask_add", R"(
+def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i >= l and i < m:
+            dst[i] = a[i] + b[i]
+)",
+                      1.0, "arith");
+        set.r_sub = I("rmask_sub", R"(
+def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i >= l and i < m:
+            dst[i] = a[i] - b[i]
+)",
+                      1.0, "arith");
+        set.r_mul = I("rmask_mul", R"(
+def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i >= l and i < m:
+            dst[i] = a[i] * b[i]
+)",
+                      1.0, "arith");
+        if (fma) {
+            set.r_fma = I("rmask_fmadd", R"(
+def {NAME}(l: size, m: size, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}, dst: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i >= l and i < m:
+            dst[i] += a[i] * b[i]
+)",
+                          1.0, "fma");
+        }
+        set.r_abs = I("rmask_abs", R"(
+def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i >= l and i < m:
+            dst[i] = abs(src[i])
+)",
+                      1.0, "arith");
+        set.r_neg = I("rmask_neg", R"(
+def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i >= l and i < m:
+            dst[i] = -src[i]
+)",
+                      1.0, "arith");
+        set.r_acc = I("rmask_addacc", R"(
+def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
+    for i in seq(0, {W}):
+        if i >= l and i < m:
+            dst[i] += src[i]
+)",
+                      1.0, "arith");
+    }
+    return set;
+}
+
+}  // namespace
+
+Machine::Machine(std::string name, MemoryPtr mem, bool predication,
+                 bool fma)
+    : name_(std::move(name)), mem_(std::move(mem)),
+      predication_(predication), fma_(fma)
+{
+    std::string prefix = (mem_->vector_bytes() == 64) ? "mm512" : "mm256";
+    f32_ = build_vec_set(prefix, mem_->name(), ScalarType::F32,
+                         vec_width(ScalarType::F32), predication_, fma_);
+    f64_ = build_vec_set(prefix, mem_->name(), ScalarType::F64,
+                         vec_width(ScalarType::F64), predication_, fma_);
+}
+
+int
+Machine::vec_width(ScalarType t) const
+{
+    return mem_->vector_bytes() / type_size_bytes(t);
+}
+
+const VecInstrSet&
+Machine::instrs(ScalarType t) const
+{
+    if (t == ScalarType::F32)
+        return f32_;
+    if (t == ScalarType::F64)
+        return f64_;
+    throw InternalError("machine: unsupported precision");
+}
+
+std::vector<ProcPtr>
+Machine::all_instrs() const
+{
+    auto out = f32_.all();
+    auto d = f64_.all();
+    out.insert(out.end(), d.begin(), d.end());
+    return out;
+}
+
+const Machine&
+machine_avx2()
+{
+    // AVX2 has vmaskmov loads/stores; masked arithmetic is emulated by
+    // blending (priced identically in the simulator).
+    static Machine m("AVX2", mem_avx2(), /*predication=*/true,
+                     /*fma=*/true);
+    return m;
+}
+
+const Machine&
+machine_avx512()
+{
+    static Machine m("AVX512", mem_avx512(), /*predication=*/true,
+                     /*fma=*/true);
+    return m;
+}
+
+}  // namespace exo2

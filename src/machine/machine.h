@@ -1,0 +1,102 @@
+#ifndef EXO2_MACHINE_MACHINE_H_
+#define EXO2_MACHINE_MACHINE_H_
+
+/**
+ * @file
+ * Machine descriptions. Exo externalizes hardware targets to user code;
+ * a Machine packages a vector register memory, width/predication/FMA
+ * capabilities, and the instruction set (instr-procs whose bodies give
+ * reference semantics and whose InstrInfo gives codegen template and
+ * simulator cost).
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/ir/proc.h"
+
+namespace exo2 {
+
+/** The vector instructions of one machine at one precision. */
+struct VecInstrSet
+{
+    ProcPtr load;
+    ProcPtr load_pred;    ///< null when unsupported
+    ProcPtr store;
+    ProcPtr store_pred;   ///< null when unsupported
+    ProcPtr broadcast;    ///< splat a scalar
+    ProcPtr zero;
+    ProcPtr add;
+    ProcPtr sub;
+    ProcPtr mul;
+    ProcPtr fma;          ///< dst += a * b; null when unsupported
+    ProcPtr reduce_add;   ///< dst[0] += sum(src)
+    ProcPtr vabs;         ///< dst = |src|
+    ProcPtr vneg;         ///< dst = -src
+    ProcPtr acc;          ///< dst += src (add with aliased operand)
+
+    // Masked variants (predicated machines): guarded lane loops.
+    ProcPtr m_broadcast;
+    ProcPtr m_add;
+    ProcPtr m_sub;
+    ProcPtr m_mul;
+    ProcPtr m_fma;
+    ProcPtr m_abs;
+    ProcPtr m_neg;
+    ProcPtr m_acc;
+
+    // Range-masked variants (`l <= lane < m`): triangular guards.
+    ProcPtr r_load;
+    ProcPtr r_store;
+    ProcPtr r_broadcast;
+    ProcPtr r_add;
+    ProcPtr r_sub;
+    ProcPtr r_mul;
+    ProcPtr r_fma;
+    ProcPtr r_abs;
+    ProcPtr r_neg;
+    ProcPtr r_acc;
+
+    /** All non-null instructions, replacement order (stores/loads last
+     *  so compute patterns match first). */
+    std::vector<ProcPtr> all() const;
+};
+
+/** A CPU vector target (AVX2 / AVX512). */
+class Machine
+{
+  public:
+    Machine(std::string name, MemoryPtr mem, bool predication, bool fma);
+
+    const std::string& name() const { return name_; }
+    const MemoryPtr& mem_type() const { return mem_; }
+    bool supports_predication() const { return predication_; }
+    bool has_fma() const { return fma_; }
+
+    /** Lanes per vector register for an element type. */
+    int vec_width(ScalarType t) const;
+
+    /** The instruction set for one precision (f32 or f64). */
+    const VecInstrSet& instrs(ScalarType t) const;
+
+    /** Every instruction of this machine (all precisions). */
+    std::vector<ProcPtr> all_instrs() const;
+
+  private:
+    std::string name_;
+    MemoryPtr mem_;
+    bool predication_;
+    bool fma_;
+    VecInstrSet f32_;
+    VecInstrSet f64_;
+};
+
+/** The AVX2 target: 32-byte vectors, FMA, no predicated memory ops. */
+const Machine& machine_avx2();
+
+/** The AVX512 target: 64-byte vectors, FMA, predicated memory ops. */
+const Machine& machine_avx512();
+
+}  // namespace exo2
+
+#endif  // EXO2_MACHINE_MACHINE_H_

@@ -1,0 +1,504 @@
+#include "src/primitives/common.h"
+
+#include <atomic>
+#include <map>
+#include <set>
+
+#include "src/ir/builder.h"
+#include "src/ir/errors.h"
+
+namespace exo2 {
+
+namespace {
+
+std::atomic<int64_t> g_rewrites{0};
+
+}  // namespace
+
+void
+ScheduleStats::count_rewrite(const std::string& primitive)
+{
+    (void)primitive;
+    g_rewrites.fetch_add(1);
+}
+
+int64_t
+ScheduleStats::rewrites()
+{
+    return g_rewrites.load();
+}
+
+void
+ScheduleStats::reset()
+{
+    g_rewrites.store(0);
+}
+
+void
+require(bool cond, const std::string& msg)
+{
+    if (!cond)
+        throw SchedulingError(msg);
+}
+
+namespace {
+
+void
+collect_names(const StmtPtr& s, std::set<std::string>* out)
+{
+    switch (s->kind()) {
+      case StmtKind::Alloc:
+      case StmtKind::WindowDecl:
+        out->insert(s->name());
+        break;
+      case StmtKind::For:
+        out->insert(s->iter());
+        break;
+      default:
+        break;
+    }
+    for (const auto& c : s->body())
+        collect_names(c, out);
+    for (const auto& c : s->orelse())
+        collect_names(c, out);
+}
+
+}  // namespace
+
+std::vector<std::string>
+used_names(const ProcPtr& p)
+{
+    std::set<std::string> names;
+    for (const auto& a : p->args())
+        names.insert(a.name);
+    for (const auto& s : p->body_stmts())
+        collect_names(s, &names);
+    return std::vector<std::string>(names.begin(), names.end());
+}
+
+void
+ensure_unused(const ProcPtr& p, const std::string& name)
+{
+    auto names = used_names(p);
+    require(std::find(names.begin(), names.end(), name) == names.end(),
+            "name '" + name + "' is already used in " + p->name());
+}
+
+std::string
+fresh_in(const ProcPtr& p, const std::string& base)
+{
+    auto names = used_names(p);
+    auto taken = [&](const std::string& n) {
+        return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    if (!taken(base))
+        return base;
+    for (int i = 1;; i++) {
+        std::string cand = base + "_" + std::to_string(i);
+        if (!taken(cand))
+            return cand;
+    }
+}
+
+Cursor
+expect_stmt_cursor(const ProcPtr& p, const Cursor& c)
+{
+    Cursor f = p->forward(c);
+    require(f.is_valid(), "cursor was invalidated");
+    require(f.kind() == CursorKind::Node, "expected a statement cursor");
+    (void)f.stmt();
+    return f;
+}
+
+Cursor
+expect_loop_cursor(const ProcPtr& p, const Cursor& c)
+{
+    Cursor f = expect_stmt_cursor(p, c);
+    require(f.stmt()->kind() == StmtKind::For, "expected a For loop cursor");
+    return f;
+}
+
+Cursor
+expect_gap_cursor(const ProcPtr& p, const Cursor& c)
+{
+    Cursor f = p->forward(c);
+    require(f.is_valid(), "cursor was invalidated");
+    require(f.kind() == CursorKind::Gap, "expected a gap cursor");
+    return f;
+}
+
+ForwardFn
+fwd_relocate_list(ListAddr old_list, ListAddr new_list, ForwardFn rest)
+{
+    return [old_list = std::move(old_list), new_list = std::move(new_list),
+            rest = std::move(rest)](const CursorLoc& l)
+               -> std::optional<CursorLoc> {
+        size_t d = old_list.parent.size();
+        bool through = l.path.size() > d &&
+                       l.path[d].label == old_list.label;
+        if (through) {
+            for (size_t i = 0; i < d && through; i++) {
+                if (!(l.path[i] == old_list.parent[i]))
+                    through = false;
+            }
+        }
+        if (!through)
+            return rest(l);
+        CursorLoc out = l;
+        Path np = new_list.parent;
+        np.push_back({new_list.label, l.path[d].index});
+        np.insert(np.end(), l.path.begin() + static_cast<long>(d) + 1,
+                  l.path.end());
+        out.path = std::move(np);
+        return out;
+    };
+}
+
+namespace {
+
+ExprPtr
+rewrite_access_expr(const ExprPtr& e, const std::string& name,
+                    const PointRewriteFn& point_fn,
+                    const WindowRewriteFn& window_fn,
+                    bool whole_buffer_ok = false)
+{
+    if (!e)
+        return e;
+    if (e->kind() == ExprKind::Read && e->name() == name &&
+        !(whole_buffer_ok && e->idx().empty())) {
+        // Empty-idx reads outside call arguments are scalar accesses of
+        // a 0-dim buffer (e.g. pre-expansion staging temps).
+        std::vector<ExprPtr> idx;
+        idx.reserve(e->idx().size());
+        for (const auto& i : e->idx()) {
+            idx.push_back(
+                rewrite_access_expr(i, name, point_fn, window_fn));
+        }
+        if (point_fn)
+            idx = point_fn(idx);
+        return Expr::make_read(e->name(), std::move(idx), e->type());
+    }
+    if (e->kind() == ExprKind::Window && e->name() == name) {
+        std::vector<WindowDim> dims;
+        for (const auto& d : e->window_dims()) {
+            WindowDim nd;
+            nd.lo = rewrite_access_expr(d.lo, name, point_fn, window_fn);
+            if (d.hi)
+                nd.hi = rewrite_access_expr(d.hi, name, point_fn, window_fn);
+            dims.push_back(nd);
+        }
+        if (window_fn)
+            dims = window_fn(dims);
+        return Expr::make_window(e->name(), std::move(dims), e->type());
+    }
+    auto kids = e->children();
+    bool changed = false;
+    for (auto& k : kids) {
+        auto nk = rewrite_access_expr(k, name, point_fn, window_fn);
+        if (nk != k) {
+            changed = true;
+            k = nk;
+        }
+    }
+    if (!changed)
+        return e;
+    return e->with_children(std::move(kids));
+}
+
+}  // namespace
+
+StmtPtr
+rewrite_buffer_access(const StmtPtr& s, const std::string& name,
+                      const PointRewriteFn& point_fn,
+                      const WindowRewriteFn& window_fn)
+{
+    StmtPtr out = s;
+    auto rw = [&](const ExprPtr& e) {
+        return rewrite_access_expr(e, name, point_fn, window_fn);
+    };
+    switch (s->kind()) {
+      case StmtKind::Assign:
+      case StmtKind::Reduce: {
+        std::vector<ExprPtr> idx;
+        for (const auto& i : s->idx())
+            idx.push_back(rw(i));
+        if (s->name() == name && point_fn)
+            idx = point_fn(idx);
+        out = out->with_idx(std::move(idx))->with_rhs(rw(s->rhs()));
+        return out;
+      }
+      case StmtKind::Alloc:
+        return out;
+      case StmtKind::For:
+        return out->with_bounds(rw(s->lo()), rw(s->hi()))
+            ->with_body(rewrite_buffer_access_block(s->body(), name,
+                                                    point_fn, window_fn));
+      case StmtKind::If:
+        return out->with_cond(rw(s->cond()))
+            ->with_body(rewrite_buffer_access_block(s->body(), name,
+                                                    point_fn, window_fn))
+            ->with_orelse(rewrite_buffer_access_block(s->orelse(), name,
+                                                      point_fn, window_fn));
+      case StmtKind::Pass:
+        return out;
+      case StmtKind::Call: {
+        std::vector<ExprPtr> args;
+        for (const auto& a : s->args()) {
+            // Whole-buffer pass stays untouched; windows are rewritten.
+            args.push_back(rewrite_access_expr(a, name, point_fn,
+                                               window_fn,
+                                               /*whole_buffer_ok=*/true));
+        }
+        return out->with_args(std::move(args));
+      }
+      case StmtKind::WriteConfig:
+      case StmtKind::WindowDecl:
+        return out->with_rhs(rw(s->rhs()));
+    }
+    throw InternalError("unknown stmt kind");
+}
+
+std::vector<StmtPtr>
+rewrite_buffer_access_block(const std::vector<StmtPtr>& b,
+                            const std::string& name,
+                            const PointRewriteFn& point_fn,
+                            const WindowRewriteFn& window_fn)
+{
+    std::vector<StmtPtr> out;
+    out.reserve(b.size());
+    for (const auto& s : b)
+        out.push_back(rewrite_buffer_access(s, name, point_fn, window_fn));
+    return out;
+}
+
+namespace {
+
+ExprPtr
+rename_buffer_expr(const ExprPtr& e, const std::string& old_name,
+                   const std::string& new_name)
+{
+    if (!e)
+        return e;
+    if ((e->kind() == ExprKind::Read || e->kind() == ExprKind::Window ||
+         e->kind() == ExprKind::Stride) &&
+        e->name() == old_name) {
+        if (e->kind() == ExprKind::Read) {
+            std::vector<ExprPtr> idx;
+            for (const auto& i : e->idx())
+                idx.push_back(rename_buffer_expr(i, old_name, new_name));
+            return Expr::make_read(new_name, std::move(idx), e->type());
+        }
+        if (e->kind() == ExprKind::Window) {
+            std::vector<WindowDim> dims;
+            for (const auto& d : e->window_dims()) {
+                WindowDim nd;
+                nd.lo = rename_buffer_expr(d.lo, old_name, new_name);
+                if (d.hi)
+                    nd.hi = rename_buffer_expr(d.hi, old_name, new_name);
+                dims.push_back(nd);
+            }
+            return Expr::make_window(new_name, std::move(dims), e->type());
+        }
+        return Expr::make_stride(new_name, e->stride_dim());
+    }
+    auto kids = e->children();
+    bool changed = false;
+    for (auto& k : kids) {
+        auto nk = rename_buffer_expr(k, old_name, new_name);
+        if (nk != k) {
+            changed = true;
+            k = nk;
+        }
+    }
+    if (!changed)
+        return e;
+    return e->with_children(std::move(kids));
+}
+
+}  // namespace
+
+StmtPtr
+rename_buffer(const StmtPtr& s, const std::string& old_name,
+              const std::string& new_name)
+{
+    auto rw = [&](const ExprPtr& e) {
+        return rename_buffer_expr(e, old_name, new_name);
+    };
+    StmtPtr out = s;
+    switch (s->kind()) {
+      case StmtKind::Assign:
+      case StmtKind::Reduce: {
+        std::vector<ExprPtr> idx;
+        for (const auto& i : s->idx())
+            idx.push_back(rw(i));
+        out = out->with_idx(std::move(idx))->with_rhs(rw(s->rhs()));
+        if (s->name() == old_name)
+            out = out->with_name(new_name);
+        return out;
+      }
+      case StmtKind::Alloc: {
+        std::vector<ExprPtr> dims;
+        for (const auto& d : s->dims())
+            dims.push_back(rw(d));
+        out = out->with_dims(std::move(dims));
+        if (s->name() == old_name)
+            out = out->with_name(new_name);
+        return out;
+      }
+      case StmtKind::For: {
+        std::vector<StmtPtr> body;
+        for (const auto& c : s->body())
+            body.push_back(rename_buffer(c, old_name, new_name));
+        return out->with_bounds(rw(s->lo()), rw(s->hi()))
+            ->with_body(std::move(body));
+      }
+      case StmtKind::If: {
+        std::vector<StmtPtr> body;
+        for (const auto& c : s->body())
+            body.push_back(rename_buffer(c, old_name, new_name));
+        std::vector<StmtPtr> orelse;
+        for (const auto& c : s->orelse())
+            orelse.push_back(rename_buffer(c, old_name, new_name));
+        return out->with_cond(rw(s->cond()))
+            ->with_body(std::move(body))
+            ->with_orelse(std::move(orelse));
+      }
+      case StmtKind::Pass:
+        return out;
+      case StmtKind::Call: {
+        std::vector<ExprPtr> args;
+        for (const auto& a : s->args())
+            args.push_back(rw(a));
+        return out->with_args(std::move(args));
+      }
+      case StmtKind::WriteConfig:
+        return out->with_rhs(rw(s->rhs()));
+      case StmtKind::WindowDecl: {
+        out = out->with_rhs(rw(s->rhs()));
+        if (s->name() == old_name)
+            out = out->with_name(new_name);
+        return out;
+      }
+    }
+    throw InternalError("unknown stmt kind");
+}
+
+namespace {
+
+void
+visit_expr_accesses(
+    const Context& ctx, const ExprPtr& e, const std::string& name,
+    const std::function<void(const Context&, const std::vector<ExprPtr>&)>&
+        visit)
+{
+    if (!e)
+        return;
+    if (e->kind() == ExprKind::Read && e->name() == name) {
+        visit(ctx, e->idx());
+    }
+    if (e->kind() == ExprKind::Window && e->name() == name) {
+        // Report lo and hi-1 for each interval dim.
+        std::vector<ExprPtr> los;
+        std::vector<ExprPtr> his;
+        for (const auto& d : e->window_dims()) {
+            los.push_back(d.lo);
+            his.push_back(d.hi ? d.hi - idx_const(1) : d.lo);
+        }
+        visit(ctx, los);
+        visit(ctx, his);
+    }
+    for (const auto& k : e->children())
+        visit_expr_accesses(ctx, k, name, visit);
+}
+
+void
+visit_stmt_accesses(
+    Context ctx, const StmtPtr& s, const std::string& name,
+    const std::function<void(const Context&, const std::vector<ExprPtr>&)>&
+        visit)
+{
+    switch (s->kind()) {
+      case StmtKind::Assign:
+      case StmtKind::Reduce:
+        if (s->name() == name)
+            visit(ctx, s->idx());
+        for (const auto& i : s->idx())
+            visit_expr_accesses(ctx, i, name, visit);
+        visit_expr_accesses(ctx, s->rhs(), name, visit);
+        return;
+      case StmtKind::Alloc:
+        return;
+      case StmtKind::For: {
+        Context inner = ctx;
+        inner.enter_loop(s->iter(), s->lo(), s->hi());
+        for (const auto& c : s->body())
+            visit_stmt_accesses(inner, c, name, visit);
+        return;
+      }
+      case StmtKind::If: {
+        visit_expr_accesses(ctx, s->cond(), name, visit);
+        Context tctx = ctx;
+        tctx.assume(s->cond());
+        for (const auto& c : s->body())
+            visit_stmt_accesses(tctx, c, name, visit);
+        Context ectx = ctx;
+        ectx.system().add_pred_negated(s->cond());
+        for (const auto& c : s->orelse())
+            visit_stmt_accesses(ectx, c, name, visit);
+        return;
+      }
+      case StmtKind::Pass:
+        return;
+      case StmtKind::Call:
+        for (const auto& a : s->args())
+            visit_expr_accesses(ctx, a, name, visit);
+        return;
+      case StmtKind::WriteConfig:
+      case StmtKind::WindowDecl:
+        visit_expr_accesses(ctx, s->rhs(), name, visit);
+        return;
+    }
+}
+
+}  // namespace
+
+void
+visit_stmt_buffer_accesses(
+    const Context& base, const StmtPtr& s, const std::string& name,
+    const std::function<void(const Context&, const std::vector<ExprPtr>&)>&
+        visit)
+{
+    visit_stmt_accesses(base, s, name, visit);
+}
+
+void
+visit_alloc_scope_accesses(
+    const ProcPtr& p, const Path& alloc_path, const std::string& name,
+    const std::function<void(const Context&, const std::vector<ExprPtr>&)>&
+        visit)
+{
+    int pos = 0;
+    ListAddr addr = list_addr_of(alloc_path, &pos);
+    const auto& list = stmt_list_at(p, addr);
+    Context ctx = Context::at(p, alloc_path);
+    for (size_t i = static_cast<size_t>(pos) + 1; i < list.size(); i++)
+        visit_stmt_accesses(ctx, list[i], name, visit);
+}
+
+void
+visit_buffer_accesses(
+    const ProcPtr& p, const Path& root, const std::string& name,
+    const std::function<void(const Context&, const std::vector<ExprPtr>&)>&
+        visit)
+{
+    if (root.empty()) {
+        Context ctx = Context::at(p, {});
+        for (const auto& s : p->body_stmts())
+            visit_stmt_accesses(ctx, s, name, visit);
+        return;
+    }
+    Context ctx = Context::at(p, root);
+    visit_stmt_accesses(ctx, stmt_at(p, root), name, visit);
+}
+
+}  // namespace exo2

@@ -1,0 +1,119 @@
+#ifndef EXO2_PRIMITIVES_COMMON_H_
+#define EXO2_PRIMITIVES_COMMON_H_
+
+/**
+ * @file
+ * Shared machinery for scheduling primitives: rewrite accounting
+ * (Fig. 9b's metric), safety-check helpers, fresh-name management,
+ * buffer access rewriting, and forwarding helpers.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/context.h"
+#include "src/cursor/cursor.h"
+#include "src/cursor/edits.h"
+#include "src/ir/errors.h"
+
+namespace exo2 {
+
+/**
+ * Global accounting of primitive rewrites, reproducing the paper's
+ * "number of primitive rewrites" metric (Fig. 9b). Every primitive
+ * application increments the counter.
+ */
+class ScheduleStats
+{
+  public:
+    static void count_rewrite(const std::string& primitive);
+    static int64_t rewrites();
+    static void reset();
+};
+
+/** Throw SchedulingError with `msg` when `cond` is false. */
+void require(bool cond, const std::string& msg);
+
+/** All names bound anywhere in the proc (args, allocs, iterators). */
+std::vector<std::string> used_names(const ProcPtr& p);
+
+/** Throw if `name` is already used in `p`. */
+void ensure_unused(const ProcPtr& p, const std::string& name);
+
+/** A fresh variant of `base` unused in `p` (base, base_1, base_2...). */
+std::string fresh_in(const ProcPtr& p, const std::string& base);
+
+/**
+ * Forward `c` to `p` and require it to be a statement node cursor.
+ * (Implicit forwarding of Section 5.2: every primitive forwards its
+ * cursor arguments to the input procedure's reference frame.)
+ */
+Cursor expect_stmt_cursor(const ProcPtr& p, const Cursor& c);
+
+/** Forward and require a For statement cursor. */
+Cursor expect_loop_cursor(const ProcPtr& p, const Cursor& c);
+
+/** Forward and require a gap cursor. */
+Cursor expect_gap_cursor(const ProcPtr& p, const Cursor& c);
+
+/**
+ * Relocate forwarding: the statement list `old_list` moved wholesale to
+ * `new_list` (same length and order); locations under it keep their
+ * relative position, all other locations are forwarded by `rest`.
+ */
+ForwardFn fwd_relocate_list(ListAddr old_list, ListAddr new_list,
+                            ForwardFn rest);
+
+/**
+ * Rewrite every access to buffer `name` in a statement:
+ * `point_fn` maps point index vectors, `window_fn` maps window dims
+ * (both must handle the buffer's access arity). Null fns mean identity.
+ */
+using PointRewriteFn =
+    std::function<std::vector<ExprPtr>(const std::vector<ExprPtr>&)>;
+using WindowRewriteFn =
+    std::function<std::vector<WindowDim>(const std::vector<WindowDim>&)>;
+
+StmtPtr rewrite_buffer_access(const StmtPtr& s, const std::string& name,
+                              const PointRewriteFn& point_fn,
+                              const WindowRewriteFn& window_fn);
+
+std::vector<StmtPtr> rewrite_buffer_access_block(
+    const std::vector<StmtPtr>& b, const std::string& name,
+    const PointRewriteFn& point_fn, const WindowRewriteFn& window_fn);
+
+/** Rename buffer `old_name` to `new_name` in reads and writes. */
+StmtPtr rename_buffer(const StmtPtr& s, const std::string& old_name,
+                      const std::string& new_name);
+
+/**
+ * Visit every access (Read / Window / write target) of buffer `name`
+ * under `s`, with the Context at that access point. Used by primitives
+ * that must prove per-access facts (expand_dim, resize_dim, stage_mem).
+ * The visitor receives point index expressions (windows are reported
+ * once per dim pair via lo and hi-1 points).
+ */
+void visit_buffer_accesses(
+    const ProcPtr& p, const Path& root, const std::string& name,
+    const std::function<void(const Context&, const std::vector<ExprPtr>&)>&
+        visit);
+
+/**
+ * Visit accesses of buffer `name` within the scope of the allocation
+ * at `alloc_path` (the statements following it in its list).
+ */
+void visit_alloc_scope_accesses(
+    const ProcPtr& p, const Path& alloc_path, const std::string& name,
+    const std::function<void(const Context&, const std::vector<ExprPtr>&)>&
+        visit);
+
+/** Visit accesses of one statement under an explicit base context. */
+void visit_stmt_buffer_accesses(
+    const Context& base, const StmtPtr& s, const std::string& name,
+    const std::function<void(const Context&, const std::vector<ExprPtr>&)>&
+        visit);
+
+}  // namespace exo2
+
+#endif  // EXO2_PRIMITIVES_COMMON_H_

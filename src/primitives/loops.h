@@ -1,0 +1,87 @@
+#ifndef EXO2_PRIMITIVES_LOOPS_H_
+#define EXO2_PRIMITIVES_LOOPS_H_
+
+/**
+ * @file
+ * Loop-transformation primitives (Appendix A.1). Every operation has
+ * the type `Op = Proc x Cursor x ... -> Proc` (Section 3.2), raises
+ * SchedulingError when its safety condition fails, and records a
+ * forwarding function for cursors.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/primitives/common.h"
+
+namespace exo2 {
+
+/** Tail strategies for divide_loop (Appendix A.1). */
+enum class TailStrategy {
+    Perfect,      ///< requires factor | bound
+    Guard,        ///< ceil-divide with an if-guard
+    Cut,          ///< main loop + explicit tail loop
+    CutAndGuard,  ///< tail loop wrapped in `if bound % c > 0`
+};
+
+/**
+ * Split `loop` (over [0, I)) by `factor` into `new_iters[0]` (outer) and
+ * `new_iters[1]` (inner) using the given tail strategy.
+ */
+ProcPtr divide_loop(const ProcPtr& p, const Cursor& loop, int64_t factor,
+                    const std::vector<std::string>& new_iters,
+                    TailStrategy tail = TailStrategy::Guard);
+ProcPtr divide_loop(const ProcPtr& p, const std::string& loop_name,
+                    int64_t factor,
+                    const std::vector<std::string>& new_iters,
+                    TailStrategy tail = TailStrategy::Guard);
+
+/** Interchange `loop` with the single loop its body contains. */
+ProcPtr reorder_loops(const ProcPtr& p, const Cursor& loop);
+ProcPtr reorder_loops(const ProcPtr& p, const std::string& loop_name);
+
+/**
+ * Overlapping-tile split (Halide-style recompute): `for i < I` becomes
+ * `for io < n_tiles: for ii < c + I - n_tiles*c` (Appendix A.1).
+ * The body must be idempotent and `n_tiles*c <= I`.
+ */
+ProcPtr divide_with_recompute(const ProcPtr& p, const Cursor& loop,
+                              const ExprPtr& n_tiles, int64_t c,
+                              const std::vector<std::string>& new_iters);
+
+/** Flatten a perfect 2-nest `i (size I), j (size c)` into one loop. */
+ProcPtr mult_loops(const ProcPtr& p, const Cursor& outer,
+                   const std::string& new_iter);
+
+/** Split [lo, hi) into [lo, e) and [e, hi). */
+ProcPtr cut_loop(const ProcPtr& p, const Cursor& loop, const ExprPtr& e);
+
+/** Join two adjacent loops with identical bodies and h1 == l2. */
+ProcPtr join_loops(const ProcPtr& p, const Cursor& loop1,
+                   const Cursor& loop2);
+
+/** Re-base the iteration space to start at `new_lo`. */
+ProcPtr shift_loop(const ProcPtr& p, const Cursor& loop,
+                   const ExprPtr& new_lo);
+
+/**
+ * Split the enclosing loop at `gap` into two loops, lifting through
+ * `n_lifts` levels of enclosing loops.
+ */
+ProcPtr fission(const ProcPtr& p, const Cursor& gap, int n_lifts = 1);
+
+/** Delete a loop whose body is idempotent and iterator-independent. */
+ProcPtr remove_loop(const ProcPtr& p, const Cursor& loop);
+
+/** Wrap `stmt` in `for iter in seq(0, hi)` (optionally `if iter == 0`). */
+ProcPtr add_loop(const ProcPtr& p, const Cursor& stmt,
+                 const std::string& iter, const ExprPtr& hi,
+                 bool guard = false);
+
+/** Fully unroll a constant-bound loop. */
+ProcPtr unroll_loop(const ProcPtr& p, const Cursor& loop);
+ProcPtr unroll_loop(const ProcPtr& p, const std::string& loop_name);
+
+}  // namespace exo2
+
+#endif  // EXO2_PRIMITIVES_LOOPS_H_

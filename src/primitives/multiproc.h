@@ -1,0 +1,56 @@
+#ifndef EXO2_PRIMITIVES_MULTIPROC_H_
+#define EXO2_PRIMITIVES_MULTIPROC_H_
+
+/**
+ * @file
+ * Multi-procedure primitives (Appendix A.4): call inlining, statement
+ * replacement by hardware instructions (via structural unification
+ * against the instruction's semantics body), equivalent-procedure call
+ * swapping, and sub-procedure extraction.
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/primitives/common.h"
+
+namespace exo2 {
+
+/** Inline the call at `call` (splices the callee body, substituted). */
+ProcPtr inline_call(const ProcPtr& p, const Cursor& call);
+
+/**
+ * Replace the statement (or block) at `s` with a call to `instr`,
+ * unifying the code against the instruction's semantics body. Throws
+ * SchedulingError when unification fails.
+ */
+ProcPtr replace(const ProcPtr& p, const Cursor& s, const ProcPtr& instr);
+
+/**
+ * Exhaustively replace statements matching any of `instrs` (applied in
+ * order) throughout the procedure.
+ */
+ProcPtr replace_all_stmts(const ProcPtr& p,
+                          const std::vector<ProcPtr>& instrs);
+
+/** Swap the callee of `call` for an equivalent procedure. */
+ProcPtr call_eqv(const ProcPtr& p, const Cursor& call, const ProcPtr& eqv);
+
+/**
+ * Replace every call to a procedure equivalent to `eqv` with `eqv`;
+ * returns the proc unchanged if there is none.
+ */
+ProcPtr call_eqv_all(const ProcPtr& p, const ProcPtr& eqv);
+
+/**
+ * Extract the block at `s` into a new procedure `name`; free variables
+ * become arguments. Returns (rewritten proc, extracted subproc).
+ */
+std::pair<ProcPtr, ProcPtr> extract_subproc(const ProcPtr& p,
+                                            const Cursor& s,
+                                            const std::string& name);
+
+}  // namespace exo2
+
+#endif  // EXO2_PRIMITIVES_MULTIPROC_H_

@@ -1,0 +1,19 @@
+#ifndef EXO2_PRIMITIVES_PRIMITIVES_H_
+#define EXO2_PRIMITIVES_PRIMITIVES_H_
+
+/**
+ * @file
+ * Umbrella header: the full catalogue of Exo 2 scheduling primitives
+ * (Appendix A). Scheduling libraries include this one header.
+ */
+
+#include "src/primitives/annotations.h"
+#include "src/primitives/buffers.h"
+#include "src/primitives/common.h"
+#include "src/primitives/extensions.h"
+#include "src/primitives/loops.h"
+#include "src/primitives/multiproc.h"
+#include "src/primitives/scope.h"
+#include "src/primitives/simplify.h"
+
+#endif  // EXO2_PRIMITIVES_PRIMITIVES_H_

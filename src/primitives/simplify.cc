@@ -1,0 +1,528 @@
+#include "src/primitives/simplify.h"
+
+#include "src/analysis/effects.h"
+
+#include "src/ir/builder.h"
+#include "src/ir/errors.h"
+#include "src/ir/printer.h"
+
+namespace exo2 {
+
+namespace {
+
+bool
+is_index_like(const ExprPtr& e)
+{
+    return e->type() == ScalarType::Index;
+}
+
+/** Split an affine form into (divisible-by-c part scaled down, rest). */
+void
+split_by_divisor(const Affine& a, int64_t c, Affine* quotient, Affine* rest)
+{
+    quotient->constant = 0;
+    rest->constant = 0;
+    quotient->terms.clear();
+    rest->terms.clear();
+    for (const auto& [key, t] : a.terms) {
+        if (t.coeff % c == 0) {
+            quotient->terms[key] = LinTerm{t.atom, t.coeff / c};
+        } else {
+            rest->terms[key] = t;
+        }
+    }
+    // Constant: put the divisible part in the quotient.
+    int64_t qc = a.constant / c;
+    int64_t rc = a.constant % c;
+    if (rc < 0) {  // keep remainder in [0, c)
+        rc += c;
+        qc -= 1;
+    }
+    quotient->constant = qc;
+    rest->constant = rc;
+}
+
+ExprPtr
+fold_float_binop(const ExprPtr& e)
+{
+    const ExprPtr& l = e->lhs();
+    const ExprPtr& r = e->rhs();
+    if (l->kind() != ExprKind::Const || r->kind() != ExprKind::Const)
+        return e;
+    double a = l->const_value();
+    double b = r->const_value();
+    double v = 0;
+    switch (e->op()) {
+      case BinOpKind::Add: v = a + b; break;
+      case BinOpKind::Sub: v = a - b; break;
+      case BinOpKind::Mul: v = a * b; break;
+      default: return e;
+    }
+    return Expr::make_const(v, e->type());
+}
+
+class Simplifier
+{
+  public:
+    explicit Simplifier(const Context& ctx) : ctx_(ctx) {}
+
+    ExprPtr expr(const ExprPtr& e)
+    {
+        if (!e)
+            return e;
+        switch (e->kind()) {
+          case ExprKind::Const:
+          case ExprKind::Stride:
+          case ExprKind::ReadConfig:
+            return e;
+          case ExprKind::Read:
+          case ExprKind::Extern:
+          case ExprKind::Window:
+          case ExprKind::USub: {
+            auto kids = e->children();
+            bool changed = false;
+            for (auto& k : kids) {
+                auto nk = expr(k);
+                if (nk != k) {
+                    changed = true;
+                    k = nk;
+                }
+            }
+            ExprPtr out = changed ? e->with_children(std::move(kids)) : e;
+            if (out->kind() == ExprKind::USub &&
+                out->lhs()->kind() == ExprKind::Const) {
+                return Expr::make_const(-out->lhs()->const_value(),
+                                        out->type());
+            }
+            return out;
+          }
+          case ExprKind::BinOp:
+            return binop(e);
+        }
+        throw InternalError("unknown expr kind");
+    }
+
+  private:
+    ExprPtr binop(const ExprPtr& e)
+    {
+        ExprPtr l = expr(e->lhs());
+        ExprPtr r = expr(e->rhs());
+        ExprPtr cur = (l == e->lhs() && r == e->rhs())
+                          ? e
+                          : Expr::make_binop(e->op(), l, r);
+        if (is_predicate_op(cur->op()))
+            return cur;
+        if (!is_index_like(cur))
+            return fold_float_binop(cur);
+        switch (cur->op()) {
+          case BinOpKind::Add:
+          case BinOpKind::Sub:
+          case BinOpKind::Mul: {
+            Affine a = to_affine(cur);
+            // Fold `c*(e/c) -> e` when `c | e` is provable (e.g.
+            // `H - 32*(H/32) -> 0` under `H % 32 == 0`).
+            bool changed = true;
+            while (changed) {
+                changed = false;
+                for (const auto& [key, t] : a.terms) {
+                    const ExprPtr& atom = t.atom;
+                    if (atom->kind() != ExprKind::BinOp ||
+                        atom->op() != BinOpKind::Div) {
+                        continue;
+                    }
+                    Affine dv = to_affine(atom->rhs());
+                    if (!dv.is_const() || dv.constant <= 0)
+                        continue;
+                    int64_t c = dv.constant;
+                    if (t.coeff % c != 0)
+                        continue;
+                    if (!ctx_.prove_divisible(atom->lhs(), c))
+                        continue;
+                    int64_t q = t.coeff / c;
+                    Affine inner = to_affine(atom->lhs());
+                    Affine folded = a;
+                    folded.terms.erase(key);
+                    a = affine_add(folded, affine_scale(inner, q));
+                    changed = true;
+                    break;
+                }
+            }
+            return affine_to_expr(a);
+          }
+          case BinOpKind::Div:
+            return divmod(cur, /*is_div=*/true);
+          case BinOpKind::Mod:
+            return divmod(cur, /*is_div=*/false);
+          default:
+            return cur;
+        }
+    }
+
+    ExprPtr divmod(const ExprPtr& e, bool is_div)
+    {
+        Affine divisor = to_affine(e->rhs());
+        if (!divisor.is_const() || divisor.constant <= 0)
+            return e;
+        int64_t c = divisor.constant;
+        if (c == 1)
+            return is_div ? e->lhs() : idx_const(0);
+        Affine a = to_affine(e->lhs());
+        Affine q;
+        Affine rest;
+        split_by_divisor(a, c, &q, &rest);
+        ExprPtr rest_e = affine_to_expr(rest);
+        // If 0 <= rest < c is provable, the division splits exactly.
+        bool rest_small =
+            affine_is_zero(rest) ||
+            (ctx_.prove_ge0(rest_e) &&
+             ctx_.prove_lt(rest_e, idx_const(c)));
+        if (rest_small) {
+            if (is_div)
+                return affine_to_expr(q);
+            return rest_e;  // e % c == rest
+        }
+        // No exact split: retain (possibly simplified) operands.
+        ExprPtr lhs_simpl = affine_to_expr(a);
+        return Expr::make_binop(e->op(), lhs_simpl, idx_const(c));
+    }
+
+    const Context& ctx_;
+};
+
+StmtPtr simplify_stmt(Context ctx, const StmtPtr& s);
+
+std::vector<StmtPtr>
+simplify_block(const Context& ctx, const std::vector<StmtPtr>& b)
+{
+    std::vector<StmtPtr> out;
+    out.reserve(b.size());
+    for (const auto& s : b)
+        out.push_back(simplify_stmt(ctx, s));
+    return out;
+}
+
+StmtPtr
+simplify_stmt(Context ctx, const StmtPtr& s)
+{
+    Simplifier sim(ctx);
+    auto rw = [&](const ExprPtr& e) { return sim.expr(e); };
+    switch (s->kind()) {
+      case StmtKind::Assign:
+      case StmtKind::Reduce: {
+        std::vector<ExprPtr> idx;
+        for (const auto& i : s->idx())
+            idx.push_back(rw(i));
+        return s->with_idx(std::move(idx))->with_rhs(rw(s->rhs()));
+      }
+      case StmtKind::Alloc: {
+        std::vector<ExprPtr> dims;
+        for (const auto& d : s->dims())
+            dims.push_back(rw(d));
+        return s->with_dims(std::move(dims));
+      }
+      case StmtKind::For: {
+        ExprPtr lo = rw(s->lo());
+        ExprPtr hi = rw(s->hi());
+        Context inner = ctx;
+        inner.enter_loop(s->iter(), lo, hi);
+        return s->with_bounds(lo, hi)->with_body(
+            simplify_block(inner, s->body()));
+      }
+      case StmtKind::If: {
+        ExprPtr cond = rw(s->cond());
+        Context tctx = ctx;
+        tctx.assume(cond);
+        Context ectx = ctx;
+        ectx.system().add_pred_negated(cond);
+        return s->with_cond(cond)
+            ->with_body(simplify_block(tctx, s->body()))
+            ->with_orelse(simplify_block(ectx, s->orelse()));
+      }
+      case StmtKind::Pass:
+        return s;
+      case StmtKind::Call: {
+        std::vector<ExprPtr> args;
+        for (const auto& a : s->args())
+            args.push_back(rw(a));
+        return s->with_args(std::move(args));
+      }
+      case StmtKind::WriteConfig:
+      case StmtKind::WindowDecl:
+        return s->with_rhs(rw(s->rhs()));
+    }
+    throw InternalError("unknown stmt kind");
+}
+
+}  // namespace
+
+ExprPtr
+simplify_expr(const Context& ctx, const ExprPtr& e)
+{
+    Simplifier sim(ctx);
+    return sim.expr(e);
+}
+
+ProcPtr
+simplify(const ProcPtr& p)
+{
+    ScheduleStats::count_rewrite("simplify");
+    Context ctx = Context::at(p, {});
+    auto body = simplify_block(ctx, p->body_stmts());
+    return p->with_body(std::move(body), fwd_identity(), "simplify");
+}
+
+namespace {
+
+/** Locate the first dead For/If under the proc; returns its path. */
+bool
+find_dead(const ProcPtr& p, const std::vector<StmtPtr>& b, Path prefix,
+          PathLabel label, const Context& ctx, Path* out, int* mode)
+{
+    for (size_t i = 0; i < b.size(); i++) {
+        const StmtPtr& s = b[i];
+        Path here = prefix;
+        here.push_back({label, static_cast<int>(i)});
+        if (s->kind() == StmtKind::For) {
+            if (ctx.prove_le(s->hi(), s->lo())) {
+                *out = here;
+                *mode = 0;  // zero-trip loop
+                return true;
+            }
+            Context inner = ctx;
+            inner.enter_loop(s->iter(), s->lo(), s->hi());
+            if (find_dead(p, s->body(), here, PathLabel::Body, inner, out,
+                          mode)) {
+                return true;
+            }
+        } else if (s->kind() == StmtKind::If) {
+            if (ctx.prove_pred(s->cond())) {
+                *out = here;
+                *mode = 1;  // always true
+                return true;
+            }
+            ExprPtr neg = negate_pred(s->cond());
+            if (neg && ctx.prove_pred(neg)) {
+                *out = here;
+                *mode = 2;  // always false
+                return true;
+            }
+            Context tctx = ctx;
+            tctx.assume(s->cond());
+            if (find_dead(p, s->body(), here, PathLabel::Body, tctx, out,
+                          mode)) {
+                return true;
+            }
+            Context ectx = ctx;
+            ectx.system().add_pred_negated(s->cond());
+            if (find_dead(p, s->orelse(), here, PathLabel::Orelse, ectx,
+                          out, mode)) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+ProcPtr
+eliminate_dead_code(const ProcPtr& p, const Cursor& scope)
+{
+    // Restricted form: run the global pass (the scope restriction is a
+    // convenience; dead code elsewhere is equally dead).
+    (void)scope;
+    return eliminate_dead_code(p);
+}
+
+ProcPtr
+eliminate_dead_code(const ProcPtr& p)
+{
+    ScheduleStats::count_rewrite("eliminate_dead_code");
+    ProcPtr cur = p;
+    for (int guard = 0; guard < 10000; guard++) {
+        Path path;
+        int mode = -1;
+        Context root = Context::at(cur, {});
+        if (!find_dead(cur, cur->body_stmts(), {}, PathLabel::Body, root,
+                       &path, &mode)) {
+            return cur;
+        }
+        StmtPtr s = stmt_at(cur, path);
+        if (mode == 0) {
+            cur = apply_replace_stmt(cur, path, Stmt::make_pass(),
+                                     "eliminate_dead_code");
+        } else if (mode == 1) {
+            cur = apply_unwrap(cur, path, s->body(),
+                               "eliminate_dead_code");
+        } else {
+            if (s->orelse().empty()) {
+                cur = apply_replace_stmt(cur, path, Stmt::make_pass(),
+                                         "eliminate_dead_code");
+            } else {
+                cur = apply_unwrap(cur, path, s->orelse(),
+                                   "eliminate_dead_code");
+            }
+        }
+    }
+    throw InternalError("eliminate_dead_code did not converge");
+}
+
+ProcPtr
+rewrite_expr(const ProcPtr& p, const Cursor& e, const ExprPtr& repl)
+{
+    ScheduleStats::count_rewrite("rewrite_expr");
+    Cursor c = p->forward(e);
+    require(c.is_valid() && c.kind() == CursorKind::Node,
+            "rewrite_expr: expected an expression cursor");
+    ExprPtr old = c.expr();
+    Context ctx = Context::at(p, c.loc().path);
+    require(ctx.prove_eq(old, repl),
+            "rewrite_expr: cannot prove '" + print_expr(old) + "' == '" +
+                print_expr(repl) + "'");
+    return apply_replace_expr(p, c.loc().path, repl, "rewrite_expr");
+}
+
+ProcPtr
+merge_writes(const ProcPtr& p, const Cursor& s1c, const Cursor& s2c)
+{
+    ScheduleStats::count_rewrite("merge_writes");
+    Cursor c1 = expect_stmt_cursor(p, s1c);
+    Cursor c2 = expect_stmt_cursor(p, s2c);
+    StmtPtr s1 = c1.stmt();
+    StmtPtr s2 = c2.stmt();
+    int pos1 = 0;
+    int pos2 = 0;
+    ListAddr l1 = list_addr_of(c1.loc().path, &pos1);
+    ListAddr l2 = list_addr_of(c2.loc().path, &pos2);
+    require(l1.parent == l2.parent && l1.label == l2.label &&
+                pos2 == pos1 + 1,
+            "merge_writes: statements must be adjacent");
+    auto is_write = [](const StmtPtr& s) {
+        return s->kind() == StmtKind::Assign ||
+               s->kind() == StmtKind::Reduce;
+    };
+    require(is_write(s1) && is_write(s2),
+            "merge_writes: both statements must be writes");
+    require(s1->name() == s2->name() &&
+                s1->idx().size() == s2->idx().size(),
+            "merge_writes: writes must target the same destination");
+    Context ctx = Context::at(p, c1.loc().path);
+    for (size_t i = 0; i < s1->idx().size(); i++) {
+        require(ctx.prove_eq(s1->idx()[i], s2->idx()[i]),
+                "merge_writes: destination indices differ");
+    }
+    StmtPtr merged;
+    bool a1 = s1->kind() == StmtKind::Assign;
+    bool a2 = s2->kind() == StmtKind::Assign;
+    if (a2) {
+        // `_ = e1; x = e2` -> `x = e2` (e2 must not read x).
+        require(!expr_uses(s2->rhs(), s2->name()),
+                "merge_writes: second rhs reads the destination");
+        merged = s2;
+    } else if (a1) {
+        // x = e1; x += e2  ->  x = e1 + e2
+        merged = s1->with_rhs(
+            Expr::make_binop(BinOpKind::Add, s1->rhs(), s2->rhs()));
+    } else {
+        // x += e1; x += e2  ->  x += e1 + e2
+        merged = s1->with_rhs(
+            Expr::make_binop(BinOpKind::Add, s1->rhs(), s2->rhs()));
+    }
+    return apply_replace_range(p, l1, pos1, pos1 + 2, {merged},
+                               "merge_writes");
+}
+
+ProcPtr
+inline_window(const ProcPtr& p, const Cursor& window_decl)
+{
+    ScheduleStats::count_rewrite("inline_window");
+    Cursor c = expect_stmt_cursor(p, window_decl);
+    StmtPtr s = c.stmt();
+    require(s->kind() == StmtKind::WindowDecl,
+            "inline_window: expected a window declaration");
+    const ExprPtr& w = s->rhs();
+    std::string wname = s->name();
+    std::string bname = w->name();
+    std::vector<WindowDim> wdims = w->window_dims();
+
+    auto point_fn = [wdims](const std::vector<ExprPtr>& idx) {
+        std::vector<ExprPtr> out;
+        size_t k = 0;
+        for (const auto& d : wdims) {
+            if (d.is_point()) {
+                out.push_back(d.lo);
+            } else {
+                ExprPtr inner = k < idx.size() ? idx[k] : idx_const(0);
+                k++;
+                out.push_back(d.lo + inner);
+            }
+        }
+        return out;
+    };
+    auto window_fn = [wdims](const std::vector<WindowDim>& dims) {
+        std::vector<WindowDim> out;
+        size_t k = 0;
+        for (const auto& d : wdims) {
+            if (d.is_point()) {
+                out.push_back(d);
+            } else {
+                WindowDim nd;
+                if (k < dims.size()) {
+                    nd.lo = d.lo + dims[k].lo;
+                    if (dims[k].hi)
+                        nd.hi = d.lo + dims[k].hi;
+                } else {
+                    nd = d;
+                }
+                k++;
+                out.push_back(nd);
+            }
+        }
+        return out;
+    };
+
+    int pos = 0;
+    ListAddr addr = list_addr_of(c.loc().path, &pos);
+    const auto& list = stmt_list_at(p, addr);
+    std::vector<StmtPtr> repl;
+    for (size_t i = static_cast<size_t>(pos) + 1; i < list.size(); i++) {
+        StmtPtr rewritten =
+            rewrite_buffer_access(list[i], wname, point_fn, window_fn);
+        repl.push_back(rename_buffer(rewritten, wname, bname));
+    }
+    return apply_replace_range(p, addr, pos, static_cast<int>(list.size()),
+                               std::move(repl), "inline_window");
+}
+
+ProcPtr
+inline_assign(const ProcPtr& p, const Cursor& assign)
+{
+    ScheduleStats::count_rewrite("inline_assign");
+    Cursor c = expect_stmt_cursor(p, assign);
+    StmtPtr s = c.stmt();
+    require(s->kind() == StmtKind::Assign && s->idx().empty(),
+            "inline_assign: expected a scalar assignment");
+    int pos = 0;
+    ListAddr addr = list_addr_of(c.loc().path, &pos);
+    const auto& list = stmt_list_at(p, addr);
+    // Safety: x is not re-written later, and the values e reads are not
+    // modified by the following statements.
+    std::vector<std::string> rhs_reads;
+    expr_collect_reads(s->rhs(), &rhs_reads);
+    for (size_t i = static_cast<size_t>(pos) + 1; i < list.size(); i++) {
+        require(!stmt_writes(list[i], s->name()),
+                "inline_assign: destination is written again afterwards");
+        for (const auto& r : rhs_reads) {
+            require(!stmt_writes(list[i], r),
+                    "inline_assign: '" + r +
+                        "' is modified after the assignment");
+        }
+    }
+    std::vector<StmtPtr> repl;
+    for (size_t i = static_cast<size_t>(pos) + 1; i < list.size(); i++)
+        repl.push_back(stmt_subst(list[i], s->name(), s->rhs()));
+    return apply_replace_range(p, addr, pos, static_cast<int>(list.size()),
+                               std::move(repl), "inline_assign");
+}
+
+}  // namespace exo2

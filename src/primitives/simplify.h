@@ -1,0 +1,55 @@
+#ifndef EXO2_PRIMITIVES_SIMPLIFY_H_
+#define EXO2_PRIMITIVES_SIMPLIFY_H_
+
+/**
+ * @file
+ * Simplification primitives (Appendix A.6): arithmetic simplification
+ * with bounds-aware div/mod rewriting, dead code elimination, proved
+ * expression rewriting, write merging, and window/assign inlining.
+ */
+
+#include "src/primitives/common.h"
+
+namespace exo2 {
+
+/**
+ * Arithmetic simplification over the whole procedure: constant folding,
+ * affine normalization, and context-aware floor-div/mod elimination
+ * (e.g. `(8*io + ii) / 8 -> io` when `0 <= ii < 8`). Shape-preserving;
+ * cursors survive.
+ */
+ProcPtr simplify(const ProcPtr& p);
+
+/** Simplify a single expression under a context (exposed for reuse). */
+ExprPtr simplify_expr(const Context& ctx, const ExprPtr& e);
+
+/**
+ * Remove dead control flow under `scope` (or everywhere with the
+ * 1-argument form): loops proved to run zero times become `pass`,
+ * branches with constant-provable conditions are flattened.
+ */
+ProcPtr eliminate_dead_code(const ProcPtr& p, const Cursor& scope);
+ProcPtr eliminate_dead_code(const ProcPtr& p);
+
+/** Alias used throughout the GEMM library code. */
+inline ProcPtr
+dce(const ProcPtr& p)
+{
+    return eliminate_dead_code(p);
+}
+
+/** Replace the expression at `e` by `repl`, proving equivalence. */
+ProcPtr rewrite_expr(const ProcPtr& p, const Cursor& e, const ExprPtr& repl);
+
+/** Merge two adjacent writes to the same destination (Appendix A.6). */
+ProcPtr merge_writes(const ProcPtr& p, const Cursor& s1, const Cursor& s2);
+
+/** Inline a window declaration into its uses. */
+ProcPtr inline_window(const ProcPtr& p, const Cursor& window_decl);
+
+/** Inline a scalar assignment into the following statements. */
+ProcPtr inline_assign(const ProcPtr& p, const Cursor& assign);
+
+}  // namespace exo2
+
+#endif  // EXO2_PRIMITIVES_SIMPLIFY_H_

@@ -1,0 +1,67 @@
+#ifndef EXO2_SCHED_BLAS_H_
+#define EXO2_SCHED_BLAS_H_
+
+/**
+ * @file
+ * The BLAS scheduling library (Sections 6.2.1, 6.2.2, Appendix D):
+ * user-space scheduling operators shared across all kernel variants.
+ */
+
+#include "src/sched/vectorize.h"
+
+namespace exo2 {
+namespace sched {
+
+/**
+ * Optimize a BLAS level-1 style loop (Appendix D.1): specialization on
+ * a vectorizable size, CSE, vectorization with a (predicated) tail,
+ * LICM of broadcasts, and interleaving for ILP.
+ */
+ProcPtr optimize_level_1(const ProcPtr& p, const Cursor& loop,
+                         ScalarType precision, const Machine& machine,
+                         int interleave_factor = 4,
+                         bool masked_tail = true);
+
+/**
+ * Round a loop's bound up to a multiple of `factor`, guarding the body
+ * (`for i in (0, N)` -> `for i in (0, ceil(N/f)*f): if i < N`).
+ */
+ProcPtr round_loop(const ProcPtr& p, const Cursor& loop, int factor);
+
+/**
+ * Unroll-and-jam: batch `r_fac` iterations of `outer` into its inner
+ * loop (Section 6.2.2's general-matrix strategy). Returns the new proc;
+ * the jammed inner loop retains the inner iterator name.
+ */
+ProcPtr unroll_and_jam(const ProcPtr& p, const Cursor& outer, int r_fac);
+
+/**
+ * Adjust a triangular inner loop: round the iterator-dependent bound to
+ * a multiple of `factor` with a guard, removing the dependence that
+ * blocks unroll-and-jam (Section 6.2.2, Triangular Matrix).
+ */
+ProcPtr adjust_triang(const ProcPtr& p, const Cursor& inner, int factor);
+
+/**
+ * Optimize a BLAS level-2 kernel (Appendix D.2): adjust triangular
+ * bounds, unroll-and-jam `r_fac` rows, and run the level-1 pipeline on
+ * the resulting inner loop.
+ */
+ProcPtr optimize_level_2_general(const ProcPtr& p, const Cursor& o_loop,
+                                 ScalarType precision,
+                                 const Machine& machine, int r_fac,
+                                 int c_fac, bool masked_tail = true);
+
+/**
+ * The skinny-matrix schedule (Figure 7b): stage the reused vector into
+ * registers around the doubly nested loops, vectorize the load / inner
+ * math / store loops with masks, and unroll.
+ */
+ProcPtr opt_skinny(const ProcPtr& p, const Cursor& out_loop,
+                   ScalarType precision, const Machine& machine,
+                   int64_t max_len);
+
+}  // namespace sched
+}  // namespace exo2
+
+#endif  // EXO2_SCHED_BLAS_H_

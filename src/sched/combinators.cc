@@ -1,0 +1,298 @@
+#include "src/sched/combinators.h"
+
+#include "src/analysis/effects.h"
+
+namespace exo2 {
+namespace sched {
+
+COp
+lift(Op op)
+{
+    return [op = std::move(op)](const ProcPtr& p, const Cursor& c) {
+        ProcPtr p2 = op(p, c);
+        return std::make_pair(p2, p2->forward(c));
+    };
+}
+
+COp
+seq_ops(std::vector<COp> ops)
+{
+    return [ops = std::move(ops)](const ProcPtr& p, const Cursor& c) {
+        ProcPtr cur = p;
+        Cursor cc = c;
+        for (const auto& op : ops) {
+            auto [np, nc] = op(cur, cc);
+            cur = np;
+            cc = nc;
+        }
+        return std::make_pair(cur, cc);
+    };
+}
+
+COp
+repeat_op(COp op)
+{
+    return [op = std::move(op)](const ProcPtr& p, const Cursor& c) {
+        ProcPtr cur = p;
+        Cursor cc = c;
+        for (;;) {
+            try {
+                auto [np, nc] = op(cur, cc);
+                cur = np;
+                cc = nc;
+            } catch (const SchedulingError&) {
+                return std::make_pair(cur, cc);
+            } catch (const InvalidCursorError&) {
+                return std::make_pair(cur, cc);
+            }
+        }
+    };
+}
+
+COp
+try_else(COp op, COp opelse)
+{
+    return [op = std::move(op), opelse = std::move(opelse)](
+               const ProcPtr& p, const Cursor& c) {
+        try {
+            return op(p, c);
+        } catch (const SchedulingError&) {
+            return opelse(p, c);
+        } catch (const InvalidCursorError&) {
+            return opelse(p, c);
+        }
+    };
+}
+
+COp
+nav(Move move)
+{
+    return [move = std::move(move)](const ProcPtr& p, const Cursor& c) {
+        return std::make_pair(p, move(p->forward(c)));
+    };
+}
+
+COp
+savec(COp op)
+{
+    return [op = std::move(op)](const ProcPtr& p, const Cursor& c) {
+        auto [np, nc] = op(p, c);
+        (void)nc;
+        return std::make_pair(np, np->forward(c));
+    };
+}
+
+COp
+reframe(Move move, COp op)
+{
+    return savec(seq_ops({nav(std::move(move)), std::move(op)}));
+}
+
+ProcPtr
+reorder_before(const ProcPtr& p, const Cursor& c)
+{
+    // reframe(\c. c.expand(1, 0), lift(reorder_stmts)) — Section 6.3.1.
+    Cursor cc = p->forward(c);
+    return reorder_stmts(p, cc.expand(1, 0));
+}
+
+ProcPtr
+remove_parent_loop(const ProcPtr& p, const Cursor& c)
+{
+    Cursor cc = p->forward(c);
+    return remove_loop(p, cc.parent());
+}
+
+ProcPtr
+fission_after(const ProcPtr& p, const Cursor& c, int n_lifts)
+{
+    Cursor cc = p->forward(c);
+    return fission(p, cc.after(), n_lifts);
+}
+
+ProcPtr
+hoist_stmt(const ProcPtr& p, const Cursor& c)
+{
+    // Figure 5c:
+    //   repeat(try_else(seq(fission_after, remove_parent_loop),
+    //                   reorder_before))
+    COp schedule = repeat_op(try_else(
+        seq_ops({lift([](const ProcPtr& pp, const Cursor& cc) {
+                    return fission_after(pp, cc);
+                }),
+                 lift(remove_parent_loop)}),
+        lift(reorder_before)));
+    return schedule(p, c).first;
+}
+
+ProcPtr
+hoist_from_loop(const ProcPtr& p, const Cursor& loop)
+{
+    // Loop-invariant code motion built from primitives: allocations
+    // are lifted with lift_alloc; invariant idempotent statements are
+    // reordered to the front, fissioned off, and their loop removed.
+    ProcPtr cur = p;
+    Cursor anchor = loop;
+    for (int guard = 0; guard < 512; guard++) {
+        Cursor lc = cur->forward(anchor);
+        if (!lc.is_valid() || lc.stmt()->kind() != StmtKind::For)
+            return cur;
+        StmtPtr s = lc.stmt();
+        bool changed = false;
+        for (size_t k = 0; k < s->body().size(); k++) {
+            const StmtPtr& st = s->body()[k];
+            Cursor sc = lc.body()[static_cast<int>(k)];
+            if (st->kind() == StmtKind::Alloc) {
+                bool indep = true;
+                for (const auto& d : st->dims()) {
+                    if (expr_uses(d, s->iter()))
+                        indep = false;
+                }
+                if (!indep)
+                    continue;
+                try {
+                    cur = lift_alloc(cur, sc);
+                    changed = true;
+                    break;
+                } catch (const SchedulingError&) {
+                    continue;
+                }
+            }
+            if (stmt_uses(st, s->iter()) || !stmt_idempotent(st))
+                continue;
+            if (s->body().size() < 2)
+                break;
+            try {
+                ProcPtr attempt = cur;
+                Cursor moving = sc;
+                for (size_t back = k; back > 0; back--) {
+                    attempt = reorder_before(attempt, moving);
+                    moving = attempt->forward(moving);
+                }
+                // Now at the front: fission and remove.
+                ProcPtr split = fission(attempt, moving.after());
+                Cursor head = split->forward(lc);
+                Cursor rest = head.next();
+                cur = remove_loop(split, head);
+                anchor = rest;
+                changed = true;
+                break;
+            } catch (const SchedulingError&) {
+                continue;
+            } catch (const InvalidCursorError&) {
+                continue;
+            }
+        }
+        if (!changed)
+            return cur;
+    }
+    return cur;
+}
+
+namespace {
+
+void
+lrn_rec(const Cursor& c, std::vector<Cursor>* out)
+{
+    StmtPtr s = c.stmt();
+    if (s->kind() != StmtKind::For && s->kind() != StmtKind::If)
+        return;
+    for (const Cursor& child : c.body_list())
+        lrn_rec(child, out);
+    if (s->kind() == StmtKind::If) {
+        Cursor blk = c.orelse_block();
+        for (int i = 0; i < blk.block_size(); i++)
+            lrn_rec(blk[i], out);
+    }
+    out->push_back(c);
+}
+
+}  // namespace
+
+std::vector<Cursor>
+lrn(const Cursor& c)
+{
+    std::vector<Cursor> out;
+    lrn_rec(c, &out);
+    return out;
+}
+
+std::vector<Cursor>
+innermost_loops(const ProcPtr& p)
+{
+    std::vector<Cursor> out;
+    for (const Cursor& c : p->find_all("for _ in _: _")) {
+        bool has_inner_loop = false;
+        for (const Cursor& inner : c.find_all("for _ in _: _")) {
+            if (!(inner == c)) {
+                has_inner_loop = true;
+                break;
+            }
+        }
+        if (!has_inner_loop)
+            out.push_back(c);
+    }
+    return out;
+}
+
+Cursor
+get_inner_loop(const ProcPtr& p, const Cursor& loop)
+{
+    Cursor cur = p->forward(loop);
+    for (;;) {
+        StmtPtr s = cur.stmt();
+        Cursor next = cur;
+        bool found = false;
+        for (size_t i = 0; i < s->body().size(); i++) {
+            if (s->body()[i]->kind() == StmtKind::For) {
+                next = cur.body()[static_cast<int>(i)];
+                found = true;
+                break;
+            }
+            if (s->body()[i]->kind() == StmtKind::If &&
+                s->body()[i]->body().size() == 1 &&
+                s->body()[i]->body()[0]->kind() == StmtKind::For) {
+                next = cur.body()[static_cast<int>(i)].body()[0];
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return cur;
+        cur = next;
+    }
+}
+
+ProcPtr
+unroll_all(const ProcPtr& p, int64_t cap)
+{
+    ProcPtr cur = p;
+    for (int guard = 0; guard < 4096; guard++) {
+        bool changed = false;
+        for (const Cursor& c : cur->find_all("for _ in _: _")) {
+            StmtPtr s = c.stmt();
+            Affine lo = to_affine(s->lo());
+            Affine hi = to_affine(s->hi());
+            if (!lo.is_const() || !hi.is_const())
+                continue;
+            int64_t trips = hi.constant - lo.constant;
+            if (trips <= 0 || trips > cap)
+                continue;
+            cur = unroll_loop(cur, c);
+            changed = true;
+            break;
+        }
+        if (!changed)
+            return cur;
+    }
+    return cur;
+}
+
+ProcPtr
+cleanup(const ProcPtr& p)
+{
+    return eliminate_dead_code(simplify(p));
+}
+
+}  // namespace sched
+}  // namespace exo2

@@ -1,0 +1,94 @@
+#ifndef EXO2_SCHED_COMBINATORS_H_
+#define EXO2_SCHED_COMBINATORS_H_
+
+/**
+ * @file
+ * Higher-order scheduling functions (Section 3.4) and the
+ * ELEVATE-style linear-time reframing combinators (Section 6.3.1).
+ *
+ * Everything here is *user-space library code*: it is built purely
+ * from cursors and the trusted primitives, demonstrating the paper's
+ * central claim that scheduling automation can grow outside the
+ * compiler.
+ */
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/primitives/primitives.h"
+
+namespace exo2 {
+namespace sched {
+
+/** `cOp = Proc x Cursor -> Proc x Cursor` (Section 3.4). */
+using COp = std::function<std::pair<ProcPtr, Cursor>(const ProcPtr&,
+                                                     const Cursor&)>;
+
+/** `Op = Proc x Cursor -> Proc` (Section 3.2). */
+using Op = std::function<ProcPtr(const ProcPtr&, const Cursor&)>;
+
+/** Lift an Op to a cOp: `lift op = \(p, c). (op(p), c)`. */
+COp lift(Op op);
+
+/** Sequential composition of cOps. */
+COp seq_ops(std::vector<COp> ops);
+
+/** Apply `op` until it raises SchedulingError/InvalidCursorError. */
+COp repeat_op(COp op);
+
+/** Apply `op`; on failure apply `opelse`. */
+COp try_else(COp op, COp opelse);
+
+/** Cursor-to-cursor movement used by `nav` / `reframe`. */
+using Move = std::function<Cursor(const Cursor&)>;
+
+/** Navigate the frame of reference (forwards the cursor first). */
+COp nav(Move move);
+
+/** Run `op` but restore the incoming cursor afterwards. */
+COp savec(COp op);
+
+/** `reframe(move, op) = savec(seq(nav(move), op))` (Section 6.3.1). */
+COp reframe(Move move, COp op);
+
+// -- Exo-style relative-reference operations, one line each ------------
+
+/** Swap the statement at the cursor with its predecessor. */
+ProcPtr reorder_before(const ProcPtr& p, const Cursor& c);
+
+/** Remove the loop enclosing the cursor's statement. */
+ProcPtr remove_parent_loop(const ProcPtr& p, const Cursor& c);
+
+/** Fission the enclosing loop right after the cursor's statement. */
+ProcPtr fission_after(const ProcPtr& p, const Cursor& c, int n_lifts = 1);
+
+/**
+ * Hoist the statement at `c` to the top of the object program by
+ * repeatedly reordering, fissioning, and removing enclosing loops
+ * (Figures 5b/5c).
+ */
+ProcPtr hoist_stmt(const ProcPtr& p, const Cursor& c);
+
+/** Hoist every loop-invariant leading statement out of `loop` (LICM). */
+ProcPtr hoist_from_loop(const ProcPtr& p, const Cursor& loop);
+
+/** Post-order traversal of For/If nodes under `c` (Section 6.3.1). */
+std::vector<Cursor> lrn(const Cursor& c);
+
+/** All innermost loops under the procedure body. */
+std::vector<Cursor> innermost_loops(const ProcPtr& p);
+
+/** The innermost loop nested under `loop` (following single chains). */
+Cursor get_inner_loop(const ProcPtr& p, const Cursor& loop);
+
+/** Unroll every loop under the proc whose bounds are constants <= cap. */
+ProcPtr unroll_all(const ProcPtr& p, int64_t cap = 64);
+
+/** simplify + eliminate_dead_code convenience. */
+ProcPtr cleanup(const ProcPtr& p);
+
+}  // namespace sched
+}  // namespace exo2
+
+#endif  // EXO2_SCHED_COMBINATORS_H_

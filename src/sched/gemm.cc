@@ -1,0 +1,97 @@
+#include "src/sched/gemm.h"
+
+#include "src/frontend/parser.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+
+namespace exo2 {
+namespace sched {
+
+ProcPtr
+sgemm_with_asserts(const ProcPtr& p, const Machine& machine,
+                   const GemmConfig& cfg)
+{
+    int vw = machine.vec_width(ScalarType::F32);
+    int n_r = cfg.n_r_vecs * vw;
+    ProcPtr cur = p;
+    cur = cur->with_assertion(
+        eq(var("M") % idx_const(cfg.m_r), idx_const(0)));
+    cur = cur->with_assertion(eq(var("N") % idx_const(n_r), idx_const(0)));
+    return cur;
+}
+
+ProcPtr
+gen_ukernel(const ProcPtr& p, const Cursor& k_loop, const Cursor& ii_loop,
+            const Cursor& ji_loop, const std::string& c_buf,
+            const ExprPtr& row_base, const ExprPtr& col_base,
+            const Machine& machine, ScalarType precision,
+            const GemmConfig& cfg)
+{
+    int vw = machine.vec_width(precision);
+    int n_r = cfg.n_r_vecs * vw;
+    ProcPtr cur = p;
+
+    // Stage the C micro-tile into registers around the k loop.
+    std::vector<WindowDim> win;
+    win.push_back(
+        WindowDim{row_base, row_base + idx_const(cfg.m_r)});
+    win.push_back(WindowDim{col_base, col_base + idx_const(n_r)});
+    std::string reg = fresh_in(cur, "C_reg");
+    auto cs = stage_mem(cur, cur->forward(k_loop), c_buf, win, reg);
+    cur = cs.p;
+    cur = divide_dim(cur, cur->forward(cs.alloc), 1, vw);
+    cur = set_memory(cur, cur->forward(cs.alloc), machine.mem_type());
+
+    // Vectorize the C load / store copy loops and the update loop.
+    VectorizeOpts opts;
+    opts.tail = TailStrategy::Perfect;
+    for (const Cursor& c : {cs.load, cs.store}) {
+        if (!c.is_valid())
+            continue;
+        Cursor inner = get_inner_loop(cur, cur->forward(c));
+        cur = vectorize(cur, inner, machine, precision, opts);
+    }
+    cur = vectorize(cur, cur->forward(ji_loop), machine, precision, opts);
+    cur = simplify(cur);
+
+    // Hoist the A broadcast and register allocations where possible,
+    // then unroll the register loops.
+    try {
+        Cursor kk = cur->forward(k_loop);
+        cur = hoist_from_loop(cur, kk);
+    } catch (const SchedulingError&) {
+    } catch (const InvalidCursorError&) {
+    }
+    (void)ii_loop;
+    cur = unroll_all(cur, std::max(cfg.m_r, n_r));
+    return cleanup(cur);
+}
+
+ProcPtr
+schedule_sgemm(const ProcPtr& p, const Machine& machine, GemmConfig cfg)
+{
+    ScalarType prec = ScalarType::F32;
+    int vw = machine.vec_width(prec);
+    int n_r = cfg.n_r_vecs * vw;
+    ProcPtr cur = p;
+
+    // Initial order (Appendix C): k outer, i, j inner. Build the
+    // GotoBLAS nest io, jo, k, ii, ji.
+    cur = divide_loop(cur, "i", cfg.m_r, {"io", "ii"},
+                      TailStrategy::Perfect);
+    cur = divide_loop(cur, "j", n_r, {"jo", "ji"}, TailStrategy::Perfect);
+    cur = lift_scope(cur, "jo");   // k, io, jo, ii, ji
+    cur = lift_scope(cur, "io");   // io, k, jo, ii, ji
+    cur = lift_scope(cur, "jo");   // io, jo, k, ii, ji
+
+    Cursor k = cur->find_loop("k");
+    Cursor ii = cur->find_loop("ii");
+    Cursor ji = cur->find_loop("ji");
+    cur = gen_ukernel(cur, k, ii, ji, "C",
+                      idx_const(cfg.m_r) * var("io"),
+                      idx_const(n_r) * var("jo"), machine, prec, cfg);
+    return cur;
+}
+
+}  // namespace sched
+}  // namespace exo2

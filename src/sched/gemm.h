@@ -1,0 +1,52 @@
+#ifndef EXO2_SCHED_GEMM_H_
+#define EXO2_SCHED_GEMM_H_
+
+/**
+ * @file
+ * The GEMM scheduling library (Section 6.2.3, Appendix C): a single
+ * parameterized micro-kernel generator in the GotoBLAS/BLIS style —
+ * register-tiled C, broadcast A, streamed B, all vector instructions —
+ * applied under loop tiling.
+ */
+
+#include "src/sched/vectorize.h"
+
+namespace exo2 {
+namespace sched {
+
+/** Register-tile parameters (Appendix C's hardware constraints). */
+struct GemmConfig
+{
+    int m_r = 4;        ///< micro-tile rows
+    int n_r_vecs = 2;   ///< micro-tile width in vector registers
+    bool interleave_k = false;
+};
+
+/**
+ * Generate the register micro-kernel: stages the C micro-tile into
+ * vector registers around `k_loop`, vectorizes the update, and unrolls
+ * the register loops (Appendix C's `gen_ukernel`).
+ */
+ProcPtr gen_ukernel(const ProcPtr& p, const Cursor& k_loop,
+                    const Cursor& ii_loop, const Cursor& ji_loop,
+                    const std::string& c_buf, const ExprPtr& row_base,
+                    const ExprPtr& col_base, const Machine& machine,
+                    ScalarType precision, const GemmConfig& cfg);
+
+/**
+ * Schedule the outer-product SGEMM for a vector machine. Requires the
+ * divisibility assertions `M % m_r == 0`, `N % (n_r_vecs*vw) == 0` on
+ * the input proc (the benchmark sizes satisfy them; ragged sizes go
+ * through the general level-2 path instead).
+ */
+ProcPtr schedule_sgemm(const ProcPtr& p, const Machine& machine,
+                       GemmConfig cfg = GemmConfig());
+
+/** Add the divisibility assertions `schedule_sgemm` needs. */
+ProcPtr sgemm_with_asserts(const ProcPtr& p, const Machine& machine,
+                           const GemmConfig& cfg = GemmConfig());
+
+}  // namespace sched
+}  // namespace exo2
+
+#endif  // EXO2_SCHED_GEMM_H_

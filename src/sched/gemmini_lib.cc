@@ -1,0 +1,205 @@
+#include "src/sched/gemmini_lib.h"
+
+#include "src/frontend/parser.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+
+namespace exo2 {
+namespace sched {
+
+ProcPtr
+gemmini_matmul_kernel()
+{
+    static ProcPtr p = parse_proc(R"(
+def matmul_on_gemmini(N: size, M: size, scale: f32, A: i8[N, 512] @ DRAM, B: i8[512, M] @ DRAM, C: i8[N, M] @ DRAM):
+    assert N % 16 == 0
+    assert M % 16 == 0
+    assert N >= 16
+    assert M >= 16
+    for i in seq(0, N):
+        for j in seq(0, M):
+            res: i32 @ DRAM
+            res = 0.0
+            for k in seq(0, 512):
+                res += A[i, k] * B[k, j]
+            C[i, j] = clamp_i8(acc_scale(res, scale))
+)");
+    return p;
+}
+
+namespace {
+
+/** Insert the matching configuration call before every `do_*` call
+ *  (the naive compiler pattern of Figure 5a). */
+ProcPtr
+insert_configs(const ProcPtr& p)
+{
+    const GemminiInstrSet& g = gemmini_instrs();
+    struct Entry
+    {
+        ProcPtr target;
+        ProcPtr config;
+        std::vector<ExprPtr> args;
+    };
+    std::vector<Entry> table = {
+        {g.do_ld_block_id1, g.config_ld_id1, {Expr::make_stride("A", 0)}},
+        {g.do_ld_block_id2, g.config_ld_id2, {Expr::make_stride("B", 0)}},
+        {g.do_matmul_acc, g.config_matmul, {idx_const(1)}},
+        {g.do_zero_acc, g.config_zero, {idx_const(1)}},
+        {g.do_st_acc, g.config_st_acc, {Expr::make_stride("C", 0)}},
+    };
+    ProcPtr cur = p;
+    for (const auto& e : table) {
+        auto calls = cur->find_all(e.target->name() + "(_)");
+        for (const auto& c : calls) {
+            Cursor fc = cur->forward(c);
+            cur = insert_config_call(cur, fc.before(), e.config, e.args);
+        }
+    }
+    return cur;
+}
+
+}  // namespace
+
+ProcPtr
+hoist_all_configs(const ProcPtr& p)
+{
+    ProcPtr cur = p;
+    // Hoist each configuration call with the Figure 5c program.
+    for (int guard = 0; guard < 64; guard++) {
+        bool changed = false;
+        for (const auto& c : cur->find_all("_(_)")) {
+            StmtPtr s = c.stmt();
+            if (!s->callee() || !s->callee()->is_instr() ||
+                s->callee()->instr()->instr_class != "config") {
+                continue;
+            }
+            // Skip configs already at the top level.
+            if (c.loc().path.size() == 1)
+                continue;
+            ProcPtr next = hoist_stmt(cur, c);
+            if (next != cur) {
+                cur = next;
+                changed = true;
+                break;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    // Deduplicate: keep the first call per (config, args) spelling.
+    for (int guard = 0; guard < 256; guard++) {
+        bool changed = false;
+        std::vector<std::string> seen;
+        for (const auto& c : cur->find_all("_(_)")) {
+            StmtPtr s = c.stmt();
+            if (!s->callee() || !s->callee()->is_instr() ||
+                s->callee()->instr()->instr_class != "config") {
+                continue;
+            }
+            if (c.loc().path.size() != 1)
+                continue;  // only top-level duplicates
+            std::string key = print_stmt(s);
+            if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+                cur = delete_config_call(cur, c);
+                changed = true;
+                break;
+            }
+            seen.push_back(key);
+        }
+        if (!changed)
+            break;
+    }
+    return cur;
+}
+
+ProcPtr
+schedule_gemmini_matmul(const ProcPtr& p, GemminiScheduleOpts opts)
+{
+    const GemminiInstrSet& g = gemmini_instrs();
+    ProcPtr cur = p;
+
+    // ---- Tiling onto the 16x16 array --------------------------------
+    cur = divide_loop(cur, "i", 16, {"io", "ii"}, TailStrategy::Perfect);
+    cur = divide_loop(cur, "j", 16, {"jo", "ji"}, TailStrategy::Perfect);
+    cur = lift_scope(cur, "jo");  // io, jo, ii, ji
+    cur = divide_loop(cur, "k", 16, {"ko", "ki"}, TailStrategy::Perfect);
+
+    // ---- Accumulator tile -------------------------------------------
+    Cursor res = cur->find_alloc("res");
+    cur = expand_dim(cur, res, idx_const(16), var("ji"));
+    cur = expand_dim(cur, cur->forward(res), idx_const(16), var("ii"));
+    cur = lift_alloc(cur, cur->forward(res), 2);
+    cur = set_memory(cur, cur->forward(res), mem_gemm_accum());
+
+    // ---- Split zero / matmul / store into separate 16x16 nests ------
+    Cursor zero_stmt = cur->find("res[_] = 0.0");
+    cur = fission(cur, zero_stmt.after(), 2);
+    Cursor ko = cur->find_loop("ko");
+    cur = fission(cur, ko.after(), 2);
+    // Lift ko to the top of the matmul nest: ko, ii, ji, ki.
+    cur = lift_scope(cur, cur->find_loop("ko"));
+    cur = lift_scope(cur, cur->find_loop("ko"));
+
+    if (opts.stage_operands) {
+        // ---- A through the scratchpad (blocked 4x16x16 loads) -------
+        // A's tile depends only on io: stage around the jo loop.
+        Cursor jo = cur->find_loop("jo");
+        std::vector<WindowDim> awin{
+            WindowDim{idx_const(16) * var("io"),
+                      idx_const(16) * var("io") + idx_const(16)},
+            WindowDim{idx_const(0), idx_const(512)}};
+        auto acs = stage_mem(cur, jo, "A", awin, "A_tmp");
+        cur = acs.p;
+        cur = divide_dim(cur, cur->forward(acs.alloc), 1, 16);
+        cur = rearrange_dim(cur, cur->forward(acs.alloc), {1, 0, 2});
+        cur = set_memory(cur, cur->forward(acs.alloc), mem_gemm_scratch());
+        {
+            // Restructure the copy loop into the blocked-load shape.
+            Cursor load = cur->forward(acs.load);
+            Cursor inner = load.body()[0];
+            cur = divide_loop(cur, inner, 64, {"ab", "aw"},
+                              TailStrategy::Perfect);
+            cur = divide_loop(cur, cur->find_loop("aw"), 16, {"ablk", "ac"},
+                              TailStrategy::Perfect);
+            cur = lift_scope(cur, cur->find_loop("ab"));
+            cur = lift_scope(cur, cur->find_loop("ablk"));
+            cur = simplify(cur);
+        }
+
+        // ---- B through the scratchpad --------------------------------
+        // B's tile depends on jo: stage around the matmul ko nest.
+        Cursor mm = cur->find_loop("ko");
+        std::vector<WindowDim> bwin{
+            WindowDim{idx_const(0), idx_const(512)},
+            WindowDim{idx_const(16) * var("jo"),
+                      idx_const(16) * var("jo") + idx_const(16)}};
+        auto bcs = stage_mem(cur, mm, "B", bwin, "B_tmp");
+        cur = bcs.p;
+        cur = divide_dim(cur, cur->forward(bcs.alloc), 0, 16);
+        cur = set_memory(cur, cur->forward(bcs.alloc), mem_gemm_scratch());
+        {
+            Cursor load = cur->forward(bcs.load);
+            cur = divide_loop(cur, load, 64, {"bb", "bw"},
+                              TailStrategy::Perfect);
+            cur = divide_loop(cur, cur->find_loop("bw"), 16, {"bblk", "br"},
+                              TailStrategy::Perfect);
+            cur = simplify(cur);
+        }
+    }
+
+    // ---- Map to Gemmini instructions --------------------------------
+    cur = simplify(cur);
+    cur = replace_all_stmts(cur, {g.do_matmul_acc, g.do_ld_block_id1,
+                                  g.do_ld_block_id2, g.do_zero_acc,
+                                  g.do_st_acc});
+
+    // ---- Configuration (Figure 5) ------------------------------------
+    cur = insert_configs(cur);
+    if (opts.hoist_configs)
+        cur = hoist_all_configs(cur);
+    return cleanup(cur);
+}
+
+}  // namespace sched
+}  // namespace exo2

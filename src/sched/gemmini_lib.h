@@ -1,0 +1,46 @@
+#ifndef EXO2_SCHED_GEMMINI_LIB_H_
+#define EXO2_SCHED_GEMMINI_LIB_H_
+
+/**
+ * @file
+ * The Gemmini scheduling library (Section 6.1.2, Appendix B):
+ * accelerator-specific optimization passes written entirely in user
+ * code — tiling onto the 16x16 systolic array, scratchpad staging with
+ * blocked DMA loads, instruction mapping, and configuration hoisting
+ * via the Figure 5c combinator program.
+ */
+
+#include "src/machine/gemmini.h"
+#include "src/sched/combinators.h"
+
+namespace exo2 {
+namespace sched {
+
+/** The matmul object code of Appendix B (K fixed at 512). */
+ProcPtr gemmini_matmul_kernel();
+
+/** Options for the Gemmini matmul schedule. */
+struct GemminiScheduleOpts
+{
+    bool hoist_configs = true;   ///< Figure 5 configuration hoisting
+    bool stage_operands = true;  ///< scratchpad staging w/ blocked loads
+};
+
+/**
+ * Schedule the Appendix B matmul for the Gemmini model: tile to 16x16,
+ * accumulate in the accumulator, stage A/B through the scratchpad with
+ * 4-block DMA loads, map to instructions, and hoist configuration.
+ */
+ProcPtr schedule_gemmini_matmul(
+    const ProcPtr& p, GemminiScheduleOpts opts = GemminiScheduleOpts());
+
+/**
+ * Hoist every configuration instruction as far up as possible using
+ * the higher-order schedule of Figure 5c, then deduplicate.
+ */
+ProcPtr hoist_all_configs(const ProcPtr& p);
+
+}  // namespace sched
+}  // namespace exo2
+
+#endif  // EXO2_SCHED_GEMMINI_LIB_H_

@@ -1,0 +1,64 @@
+#ifndef EXO2_SCHED_HALIDE_H_
+#define EXO2_SCHED_HALIDE_H_
+
+/**
+ * @file
+ * The Halide reproduction library (Section 6.3.2): Halide's nominal,
+ * fixed-time referencing scheme and scheduling operations recreated in
+ * user code on top of cursors. `H_`-prefixed functions take buffer /
+ * iterator *names* and internally resolve them to cursors, bridging
+ * Halide's referencing scheme to Exo 2's (Figure 12).
+ */
+
+#include <string>
+
+#include "src/machine/machine.h"
+#include "src/sched/vectorize.h"
+
+namespace exo2 {
+namespace sched {
+
+/**
+ * `cons.tile(y, x, yi, xi, ty, tx)`: tile the loop nest computing
+ * buffer `cons` (identified nominally, as in Halide).
+ */
+ProcPtr H_tile(const ProcPtr& p, const std::string& cons,
+               const std::string& y, const std::string& x,
+               const std::string& yi, const std::string& xi, int ty,
+               int tx);
+
+/**
+ * `prod.compute_at(cons, at) + store_at`: fuse the producer of buffer
+ * `prod` into the consumer nest at loop `at` with recompute at tile
+ * edges (Figure 10), then shrink the producer's storage to the tile
+ * (Halide's automatic store_at placement).
+ */
+ProcPtr H_compute_store_at(const ProcPtr& p, const std::string& prod,
+                           const std::string& cons, const std::string& at);
+
+/** `parallel(loop)`: mark a loop of the nest parallel. */
+ProcPtr H_parallel(const ProcPtr& p, const std::string& loop);
+
+/**
+ * `prod.vectorize(loop, width)`: vectorize the named loop of `prod`'s
+ * compute nest for `machine`.
+ */
+ProcPtr H_vectorize(const ProcPtr& p, const std::string& prod,
+                    const std::string& loop, const Machine& machine);
+
+/** `store_in(buf, mem)`: place a buffer in a specific memory. */
+ProcPtr H_store_in(const ProcPtr& p, const std::string& buf,
+                   const MemoryPtr& mem);
+
+/** The complete blur schedule of Figure 12. */
+ProcPtr schedule_blur_like_halide(const ProcPtr& blur,
+                                  const Machine& machine);
+
+/** The unsharp schedule (tile + compute_at + vectorize). */
+ProcPtr schedule_unsharp_like_halide(const ProcPtr& unsharp,
+                                     const Machine& machine);
+
+}  // namespace sched
+}  // namespace exo2
+
+#endif  // EXO2_SCHED_HALIDE_H_

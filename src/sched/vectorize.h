@@ -1,0 +1,73 @@
+#ifndef EXO2_SCHED_VECTORIZE_H_
+#define EXO2_SCHED_VECTORIZE_H_
+
+/**
+ * @file
+ * The user-defined `vectorize` scheduling operator (Section 6.1.1),
+ * parameterized over vector width, precision, memory type, and vector
+ * instructions so it can be instantiated for many machines.
+ *
+ * Steps (paper): (1) expose parallelism by dividing the loop,
+ * (2) parallelize reductions, (3) stage the computation into single-op
+ * assignments (FMA-aware, Figure 4), (4) fission into single-statement
+ * loops, and (5) replace them with hardware instructions.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/machine/machine.h"
+#include "src/sched/combinators.h"
+
+namespace exo2 {
+namespace sched {
+
+/** Options controlling `vectorize`. */
+struct VectorizeOpts
+{
+    TailStrategy tail = TailStrategy::Cut;
+    /** Use FMA-style staging (Figure 4c) when the machine has FMA. */
+    bool use_fma = true;
+    /** The loop is pre-guarded (`for i: if i < n: s`) and should be
+     *  vectorized with masked instructions (opt_skinny path). */
+    bool masked = false;
+};
+
+/**
+ * Vectorize `loop` for `machine` at `precision`. Returns the new proc;
+ * the vectorized outer loop keeps a fresh name discoverable via
+ * `find_loop(out_loop_name)` when provided.
+ */
+ProcPtr vectorize(const ProcPtr& p, const Cursor& loop,
+                  const Machine& machine, ScalarType precision,
+                  VectorizeOpts opts = VectorizeOpts(),
+                  std::string* out_loop_name = nullptr);
+
+/**
+ * Stage the body of `lane_loop` into single-operation statements
+ * (step 3). Exposed for tests and for the GEMM library.
+ */
+ProcPtr stage_compute(const ProcPtr& p, const Cursor& lane_loop,
+                      bool use_fma, std::vector<std::string>* temps);
+
+/**
+ * Expand the staged scalars to vectors, hoist them, and fission the
+ * lane loop into single-statement loops (step 4).
+ */
+ProcPtr fission_into_singles(const ProcPtr& p, const Cursor& lane_loop,
+                             int vw, const MemoryPtr& mem,
+                             const std::vector<std::string>& temps);
+
+/**
+ * Interleave (unroll-and-accumulate) `loop` by `factor` for ILP: the
+ * loop is divided by `factor` (cut tail) and the inner copies unrolled.
+ */
+ProcPtr interleave_loop(const ProcPtr& p, const Cursor& loop, int factor);
+
+/** CSE repeated buffer reads across the statements of a loop body. */
+ProcPtr cse_reads(const ProcPtr& p, const Cursor& loop);
+
+}  // namespace sched
+}  // namespace exo2
+
+#endif  // EXO2_SCHED_VECTORIZE_H_

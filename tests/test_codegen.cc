@@ -1,0 +1,83 @@
+/**
+ * @file
+ * C code generator tests: structure of the emitted code, intrinsic
+ * rendering, stride/window lowering, and backend checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/codegen/c_codegen.h"
+#include "src/frontend/parser.h"
+#include "src/kernels/blas.h"
+#include "src/sched/blas.h"
+
+namespace exo2 {
+namespace {
+
+TEST(Codegen, ScalarKernel)
+{
+    ProcPtr p = parse_proc(R"(
+def gemv(M: size, N: size, A: f32[M, N] @ DRAM, x: f32[N] @ DRAM, y: f32[M] @ DRAM):
+    for i in seq(0, M):
+        for j in seq(0, N):
+            y[i] += A[i, j] * x[j]
+)");
+    std::string c = codegen_c(p);
+    EXPECT_NE(c.find("void gemv(int64_t M, int64_t N, float* A, "
+                     "float* x, float* y)"),
+              std::string::npos)
+        << c;
+    EXPECT_NE(c.find("for (int64_t i = 0; i < M; i++)"),
+              std::string::npos);
+    // Row-major linearization of A[i, j].
+    EXPECT_NE(c.find("A[(i) * (N) + (j)]"), std::string::npos) << c;
+}
+
+TEST(Codegen, VectorizedKernelUsesIntrinsics)
+{
+    const auto& k = kernels::find_kernel("saxpy");
+    ProcPtr opt = sched::optimize_level_1(
+        k.proc, k.proc->find_loop("i"), k.prec, machine_avx2(), 2);
+    std::string c = codegen_c(opt);
+    EXPECT_NE(c.find("mm256_fmadd_ps("), std::string::npos) << c;
+    EXPECT_NE(c.find("/* AVX2 register */"), std::string::npos);
+    // Window arguments lower to pointers.
+    EXPECT_NE(c.find("&y["), std::string::npos);
+    EXPECT_GT(codegen_c_lines(opt), 20);
+}
+
+TEST(Codegen, IfAndPragma)
+{
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM):
+    for i in par(0, n):
+        if i < 4:
+            x[i] = 1.0
+)");
+    std::string c = codegen_c(p);
+    EXPECT_NE(c.find("#pragma omp parallel for"), std::string::npos);
+    EXPECT_NE(c.find("if ((i < 4))"), std::string::npos) << c;
+}
+
+TEST(Codegen, BackendRejectsArityMismatch)
+{
+    // A malformed access (wrong arity) must be caught during lowering.
+    ProcPtr bad = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 1.0
+)");
+    // Hand-build an ill-typed variant: read x with 2 indices.
+    auto body = bad->body_stmts();
+    StmtPtr loop = body[0];
+    StmtPtr assign = Stmt::make_assign(
+        "x", {Expr::make_read("i", {}, ScalarType::Index),
+              Expr::make_read("i", {}, ScalarType::Index)},
+        loop->body()[0]->rhs(), ScalarType::F32);
+    StmtPtr new_loop = loop->with_body({assign});
+    ProcPtr broken = Proc::make("f", bad->args(), {}, {new_loop});
+    EXPECT_THROW(codegen_c(broken), SchedulingError);
+}
+
+}  // namespace
+}  // namespace exo2

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Higher-order scheduling tests (Sections 3.4, 6.1.2, 6.3.1): the
+ * seq/repeat/try_else combinators, ELEVATE-style reframing with
+ * linear-time references, post-order traversal, and the Figure 5c
+ * statement-hoisting program.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/ir/printer.h"
+#include "src/sched/combinators.h"
+#include "tests/test_support.h"
+
+namespace exo2 {
+namespace {
+
+using namespace exo2::sched;
+using testing_support::expect_equiv;
+
+TEST(Combinators, RepeatStopsOnError)
+{
+    // repeat(lift_alloc) lifts an allocation as far as possible (3.4).
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        for j in seq(0, 4):
+            t: f32 @ DRAM
+            t = x[i]
+            x[i] = t + 1.0
+)");
+    Cursor alloc = p->find_alloc("t");
+    COp lift_alloc_op = lift([](const ProcPtr& pp, const Cursor& c) {
+        return lift_alloc(pp, c);
+    });
+    auto [p2, c2] = repeat_op(lift_alloc_op)(p, alloc);
+    // Lifted out of both loops to the top level.
+    EXPECT_EQ(p2->body_stmts()[0]->kind(), StmtKind::Alloc);
+    EXPECT_TRUE(c2.is_valid());
+    expect_equiv(p, p2, {{"n", 5}});
+}
+
+TEST(Combinators, TryElseFallsBack)
+{
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 1.0
+)");
+    Cursor loop = p->find_loop("i");
+    bool fallback_ran = false;
+    COp bad = lift([](const ProcPtr& pp, const Cursor& c) -> ProcPtr {
+        // Perfect division by 7 is unprovable: raises SchedulingError.
+        return divide_loop(pp, c, 7, {"a", "b"}, TailStrategy::Perfect);
+    });
+    COp good = lift([&](const ProcPtr& pp, const Cursor& c) -> ProcPtr {
+        fallback_ran = true;
+        return divide_loop(pp, c, 7, {"a", "b"}, TailStrategy::Cut);
+    });
+    auto [p2, c2] = try_else(bad, good)(p, loop);
+    (void)c2;
+    EXPECT_TRUE(fallback_ran);
+    expect_equiv(p, p2, {{"n", 13}});
+}
+
+TEST(Combinators, ReframeRestoresCursor)
+{
+    // reframe navigates, acts, and restores the frame (6.3.1).
+    ProcPtr p = parse_proc(R"(
+def f(x: f32[4] @ DRAM, y: f32[4] @ DRAM):
+    x[0] = 1.0
+    y[0] = 2.0
+)");
+    Cursor second = p->find("y[_] = _");
+    // reorder_before = reframe(expand(1,0), lift(reorder_stmts)).
+    ProcPtr p2 = reorder_before(p, second);
+    EXPECT_EQ(p2->body_stmts()[0]->name(), "y");
+    expect_equiv(p, p2, {});
+}
+
+TEST(Combinators, LrnPostorder)
+{
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        for j in seq(0, 4):
+            if j < 2:
+                x[i] = 1.0
+)");
+    auto order = lrn(p->find_loop("i"));
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0].stmt()->kind(), StmtKind::If);
+    EXPECT_EQ(order[1].stmt()->iter(), "j");
+    EXPECT_EQ(order[2].stmt()->iter(), "i");
+}
+
+TEST(Combinators, HoistStmtFigure5)
+{
+    // The Figure 5 scenario: hoist a config write out of a loop nest.
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[8, 8] @ DRAM):
+    assert n > 0
+    for io in seq(0, n):
+        for jo in seq(0, n):
+            cfg.stride = 8
+            for ii in seq(0, 8):
+                x[ii, 0] = 1.0
+)");
+    Cursor config = p->find("cfg.stride = _");
+    ProcPtr p2 = hoist_stmt(p, config);
+    // The configuration write reached the top of the procedure.
+    EXPECT_EQ(p2->body_stmts()[0]->kind(), StmtKind::WriteConfig)
+        << print_proc(p2);
+    expect_equiv(p, p2, {{"n", 2}});
+}
+
+TEST(Combinators, InnermostLoops)
+{
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        for j in seq(0, 4):
+            x[i] = 1.0
+    for k in seq(0, n):
+        y[k] = 2.0
+)");
+    auto inner = innermost_loops(p);
+    ASSERT_EQ(inner.size(), 2u);
+    EXPECT_EQ(inner[0].stmt()->iter(), "j");
+    EXPECT_EQ(inner[1].stmt()->iter(), "k");
+}
+
+}  // namespace
+}  // namespace exo2

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Cost-simulator tests: cycle accounting, cache behaviour (locality is
+ * rewarded), instruction costs, and the relative-performance
+ * properties the benchmark figures rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/kernels/blas.h"
+#include "src/machine/cost_sim.h"
+#include "src/sched/blas.h"
+
+namespace exo2 {
+namespace {
+
+TEST(CostSim, CountsLoopWork)
+{
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 1.0
+)");
+    CostConfig cfg;
+    cfg.warm = false;
+    CostResult r = simulate_cost_named(p, {{"n", 100}}, cfg);
+    EXPECT_EQ(r.dram_accesses, 100);
+    EXPECT_GE(r.cycles, 200.0);  // 100 iters * (loop + op)
+    // Cycles scale linearly.
+    CostResult r2 = simulate_cost_named(p, {{"n", 200}}, cfg);
+    EXPECT_NEAR(r2.cycles / r.cycles, 2.0, 0.3);
+}
+
+TEST(CostSim, CacheRewardsLocality)
+{
+    // Strided column walk misses far more than a row walk.
+    ProcPtr rowwise = parse_proc(R"(
+def f(n: size, A: f32[n, n] @ DRAM, x: f32[1] @ DRAM):
+    for i in seq(0, n):
+        for j in seq(0, n):
+            x[0] += A[i, j]
+)");
+    ProcPtr colwise = parse_proc(R"(
+def f(n: size, A: f32[n, n] @ DRAM, x: f32[1] @ DRAM):
+    for j in seq(0, n):
+        for i in seq(0, n):
+            x[0] += A[i, j]
+)");
+    CostConfig cfg;
+    cfg.warm = false;
+    CostResult row = simulate_cost_named(rowwise, {{"n", 512}}, cfg);
+    CostResult col = simulate_cost_named(colwise, {{"n", 512}}, cfg);
+    EXPECT_GT(col.l1_misses, row.l1_misses * 4);
+    EXPECT_GT(col.cycles, row.cycles);
+}
+
+TEST(CostSim, WarmRunsFasterThanCold)
+{
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM, y: f32[1] @ DRAM):
+    for i in seq(0, n):
+        y[0] += x[i]
+)");
+    CostConfig cold;
+    cold.warm = false;
+    CostConfig warm;
+    warm.warm = true;
+    double c = simulate_cost_named(p, {{"n", 1024}}, cold).cycles;
+    double w = simulate_cost_named(p, {{"n", 1024}}, warm).cycles;
+    EXPECT_LT(w, c);
+}
+
+TEST(CostSim, VectorizationPaysOff)
+{
+    const auto& k = kernels::find_kernel("saxpy");
+    ProcPtr opt = sched::optimize_level_1(
+        k.proc, k.proc->find_loop("i"), k.prec, machine_avx2(), 4);
+    double naive = simulate_cost_named(k.proc, {{"n", 4096}}).cycles;
+    double fast = simulate_cost_named(opt, {{"n", 4096}}).cycles;
+    // AVX2 f32: 8 lanes; expect a healthy speedup (amortized by memory).
+    EXPECT_GT(naive / fast, 3.0);
+    EXPECT_LT(naive / fast, 32.0);
+}
+
+TEST(CostSim, DispatchOverheadOnlyMattersWhenSmall)
+{
+    const auto& k = kernels::find_kernel("scopy");
+    ProcPtr opt = sched::optimize_level_1(
+        k.proc, k.proc->find_loop("i"), k.prec, machine_avx2(), 4);
+    CostConfig with;
+    with.dispatch_cycles = 30;
+    CostConfig without;
+    double small_ratio =
+        simulate_cost_named(opt, {{"n", 4}}, with).cycles /
+        simulate_cost_named(opt, {{"n", 4}}, without).cycles;
+    double big_ratio =
+        simulate_cost_named(opt, {{"n", 100000}}, with).cycles /
+        simulate_cost_named(opt, {{"n", 100000}}, without).cycles;
+    EXPECT_GT(small_ratio, 1.5);
+    EXPECT_LT(big_ratio, 1.01);
+}
+
+}  // namespace
+}  // namespace exo2

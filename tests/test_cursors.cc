@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cursor navigation and pattern-find tests (Sections 2, 5.2): spatial
+ * navigation, gaps/blocks, scoped find, `#k` selectors, and the error
+ * taxonomy of Section 3.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/ir/printer.h"
+#include "src/primitives/primitives.h"
+
+namespace exo2 {
+namespace {
+
+const char* kProg = R"(
+def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 1.0
+        y[i] = 2.0
+    for i in seq(0, n):
+        if i < 4:
+            y[i] = x[i] * 3.0
+)";
+
+TEST(Cursors, NominalAndPatternAgree)
+{
+    ProcPtr p = parse_proc(kProg);
+    EXPECT_TRUE(p->find_loop("i") == p->find("for i in _: _"));
+}
+
+TEST(Cursors, SelectorPicksKthMatch)
+{
+    ProcPtr p = parse_proc(kProg);
+    Cursor second = p->find_loop("i #1");
+    EXPECT_EQ(second.stmt()->body()[0]->kind(), StmtKind::If);
+    EXPECT_TRUE(p->find_all("for i in _: _").size() == 2);
+    EXPECT_THROW(p->find_loop("q"), SchedulingError);
+}
+
+TEST(Cursors, ScopedFindRestrictsSubtree)
+{
+    ProcPtr p = parse_proc(kProg);
+    Cursor first_loop = p->find_loop("i");
+    // Only one assign to y inside the first loop.
+    auto matches = first_loop.find_all("y[_] = _");
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(print_expr(matches[0].stmt()->rhs()), "2.0");
+}
+
+TEST(Cursors, Navigation)
+{
+    ProcPtr p = parse_proc(kProg);
+    Cursor x_assign = p->find("x[_] = _");
+    EXPECT_EQ(x_assign.next().stmt()->name(), "y");
+    EXPECT_EQ(x_assign.parent().stmt()->kind(), StmtKind::For);
+    EXPECT_THROW(x_assign.prev(), InvalidCursorError);
+    EXPECT_THROW(x_assign.parent().parent(), InvalidCursorError);
+    // Gap and block cursors.
+    Cursor gap = x_assign.after();
+    EXPECT_EQ(gap.kind(), CursorKind::Gap);
+    Cursor blk = x_assign.expand(0, 1);
+    EXPECT_EQ(blk.block_size(), 2);
+    EXPECT_EQ(blk[1].stmt()->name(), "y");
+    EXPECT_THROW(x_assign.expand(1, 0), InvalidCursorError);
+}
+
+TEST(Cursors, ExpressionNavigation)
+{
+    ProcPtr p = parse_proc(kProg);
+    Cursor mul = p->find("y[_] = x[_] * 3.0").rhs();
+    EXPECT_EQ(mul.expr()->kind(), ExprKind::BinOp);
+    Cursor loop = p->find_loop("i #1");
+    EXPECT_EQ(print_expr(loop.hi().expr()), "n");
+    EXPECT_EQ(print_expr(loop.body()[0].cond().expr()), "i < 4");
+}
+
+TEST(Cursors, ForwardAcrossUnrelatedProcFails)
+{
+    ProcPtr p = parse_proc(kProg);
+    ProcPtr q = parse_proc(kProg);
+    Cursor c = p->find_loop("i");
+    EXPECT_THROW(q->forward(c), InvalidCursorError);
+}
+
+TEST(Cursors, CallAndConfigPatterns)
+{
+    ProcPtr callee = parse_proc(R"(
+def work(dst: [f32][4] @ DRAM):
+    for i in seq(0, 4):
+        dst[i] = 0.0
+)");
+    ProcPtr p = parse_proc(R"(
+def f(x: f32[8] @ DRAM):
+    cfg.stride = 4
+    work(x[0:4])
+    work(x[4:8])
+)",
+                           {callee});
+    EXPECT_EQ(p->find_all("work(_)").size(), 2u);
+    EXPECT_EQ(p->find("cfg.stride = _").stmt()->kind(),
+              StmtKind::WriteConfig);
+    EXPECT_EQ(p->find_all("_(_)").size(), 2u);
+}
+
+}  // namespace
+}  // namespace exo2

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Property-style tests of cursor forwarding (Section 5.2): across each
+ * atomic edit and across whole scheduling pipelines, a cursor to an
+ * untouched statement must forward to a structurally equal statement
+ * (the paper's invariant for code in C or the T_i subtrees), and
+ * invalidation must be deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/ir/printer.h"
+#include "src/kernels/blas.h"
+#include "src/sched/blas.h"
+#include "tests/test_support.h"
+
+namespace exo2 {
+namespace {
+
+const char* kTwoNests = R"(
+def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 1.0
+    for j in seq(0, n):
+        y[j] = x[j] * 2.0
+)";
+
+TEST(Forwarding, UntouchedSubtreeSurvivesEdits)
+{
+    // Figure 3's scenario: tiling the first nest leaves a cursor into
+    // the second nest valid and unchanged.
+    ProcPtr p = parse_proc(kTwoNests);
+    Cursor second = p->find("y[_] = _");
+    StmtPtr before = second.stmt();
+    ProcPtr p2 = divide_loop(p, "i", 4, {"io", "ii"}, TailStrategy::Cut);
+    Cursor fwd = p2->forward(second);
+    ASSERT_TRUE(fwd.is_valid());
+    EXPECT_TRUE(stmt_equal(before, fwd.stmt()));
+}
+
+TEST(Forwarding, InsertionShiftsSiblings)
+{
+    ProcPtr p = parse_proc(kTwoNests);
+    Cursor second_loop = p->find_loop("j");
+    Cursor first_loop = p->find_loop("i");
+    // bind_expr inserts two statements inside the j body: cursors into
+    // the i nest are untouched; the j loop keeps pointing at itself.
+    Cursor rhs = p->find("y[_] = _").rhs();
+    ProcPtr p2 = bind_expr(p, rhs, "t0");
+    EXPECT_TRUE(stmt_equal(p2->forward(first_loop).stmt(),
+                           first_loop.stmt()));
+    EXPECT_EQ(p2->forward(second_loop).stmt()->iter(), "j");
+}
+
+TEST(Forwarding, DeletionInvalidatesInside)
+{
+    ProcPtr p = parse_proc(R"(
+def f(x: f32[4] @ DRAM):
+    dead: f32[4] @ DRAM
+    x[0] = 1.0
+)");
+    Cursor alloc = p->find_alloc("dead");
+    Cursor live = p->find("x[_] = _");
+    ProcPtr p2 = delete_buffer(p, alloc);
+    EXPECT_FALSE(p2->forward(alloc).is_valid());
+    ASSERT_TRUE(p2->forward(live).is_valid());
+    EXPECT_TRUE(stmt_equal(p2->forward(live).stmt(), live.stmt()));
+}
+
+TEST(Forwarding, NavigationAfterForwarding)
+{
+    // Implicit forwarding composes with navigation as documented:
+    // p.forward(c.next()) rather than p.forward(c).next().
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 1.0
+    for j in seq(0, n):
+        y[j] = 2.0
+)");
+    Cursor first = p->find_loop("i");
+    ProcPtr p2 = reorder_stmts(p, first, p->find_loop("j"));
+    // After the swap the i loop is second.
+    Cursor fwd = p2->forward(first);
+    EXPECT_EQ(fwd.stmt()->iter(), "i");
+    EXPECT_EQ(fwd.prev().stmt()->iter(), "j");
+}
+
+TEST(Forwarding, GapAndBlockSurviveInsertion)
+{
+    ProcPtr p = parse_proc(kTwoNests);
+    Cursor blk = p->body();  // block over both nests
+    Cursor gap = p->find_loop("j").before();
+    ProcPtr p2 = bind_expr(p, p->find("y[_] = _").rhs(), "t0");
+    Cursor blk2 = p2->forward(blk);
+    ASSERT_TRUE(blk2.is_valid());
+    EXPECT_EQ(blk2.block_size(), 2);
+    EXPECT_TRUE(p2->forward(gap).is_valid());
+}
+
+/** Whole-pipeline property: forward a cursor to the *untouched* nest
+ *  through the full level-1 pipeline applied to the other nest. */
+class ForwardingPipeline : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ForwardingPipeline, SurvivesLevel1Pipeline)
+{
+    const auto& k = kernels::find_kernel(GetParam());
+    // Append an unrelated epilogue nest the schedule never touches.
+    ProcPtr p = k.proc;
+    Cursor loop = p->find_loop(k.main_loop);
+    ProcPtr opt = sched::optimize_level_1(p, loop, k.prec, machine_avx2(),
+                                          2);
+    // The original loop cursor forwards deterministically (heuristic
+    // forwarding may remap it, but must not throw).
+    Cursor fwd = opt->forward(loop);
+    if (fwd.is_valid())
+        EXPECT_NO_THROW((void)fwd.stmt());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ForwardingPipeline,
+                         ::testing::Values("saxpy", "sdot", "scopy",
+                                           "srot", "sscal"));
+
+}  // namespace
+}  // namespace exo2

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * GEMM scheduling tests (Section 6.2.3): structure and equivalence of
+ * the register-tiled, vectorized SGEMM on both machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ir/printer.h"
+#include "src/kernels/blas.h"
+#include "src/sched/gemm.h"
+#include "tests/test_support.h"
+
+namespace exo2 {
+namespace {
+
+using sched::GemmConfig;
+using sched::schedule_sgemm;
+using sched::sgemm_with_asserts;
+using testing_support::expect_equiv;
+
+TEST(Gemm, ScheduleAvx2)
+{
+    ProcPtr base = kernels::sgemm();
+    ProcPtr p = sgemm_with_asserts(base, machine_avx2());
+    ProcPtr s;
+    ASSERT_NO_THROW(s = schedule_sgemm(p, machine_avx2()));
+    std::string printed = print_proc(s);
+    EXPECT_NE(printed.find("mm256_fmadd_ps"), std::string::npos) << printed;
+    EXPECT_NE(printed.find("C_reg"), std::string::npos);
+    // Micro-kernel fully unrolled: several fma calls per k iteration.
+    size_t count = 0;
+    for (size_t pos = printed.find("mm256_fmadd_ps");
+         pos != std::string::npos;
+         pos = printed.find("mm256_fmadd_ps", pos + 1)) {
+        count++;
+    }
+    EXPECT_GE(count, 8u);
+    expect_equiv(p, s, {{"M", 8}, {"N", 16}, {"K", 5}}, 3e-3);
+    expect_equiv(p, s, {{"M", 4}, {"N", 32}, {"K", 9}}, 3e-3);
+}
+
+TEST(Gemm, ScheduleAvx512)
+{
+    ProcPtr base = kernels::sgemm();
+    ProcPtr p = sgemm_with_asserts(base, machine_avx512());
+    ProcPtr s;
+    ASSERT_NO_THROW(s = schedule_sgemm(p, machine_avx512()));
+    EXPECT_NE(print_proc(s).find("mm512_fmadd_ps"), std::string::npos);
+    expect_equiv(p, s, {{"M", 8}, {"N", 32}, {"K", 4}}, 3e-3);
+}
+
+TEST(Gemm, RejectsWithoutAsserts)
+{
+    // Perfect division is not provable without the assertions.
+    EXPECT_THROW(schedule_sgemm(kernels::sgemm(), machine_avx2()),
+                 SchedulingError);
+}
+
+}  // namespace
+}  // namespace exo2

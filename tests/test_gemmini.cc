@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Gemmini library tests (Section 6.1.2, Appendix B): instruction
+ * mapping, scratchpad staging, configuration hoisting via the
+ * Figure 5c combinator program, and interpreter equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ir/printer.h"
+#include "src/machine/cost_sim.h"
+#include "src/sched/gemmini_lib.h"
+#include "tests/test_support.h"
+
+namespace exo2 {
+namespace {
+
+using sched::gemmini_matmul_kernel;
+using sched::GemminiScheduleOpts;
+using sched::schedule_gemmini_matmul;
+using testing_support::expect_equiv;
+
+TEST(Gemmini, FullSchedule)
+{
+    ProcPtr p = gemmini_matmul_kernel();
+    ProcPtr s;
+    ASSERT_NO_THROW(s = schedule_gemmini_matmul(p));
+    std::string printed = print_proc(s);
+    EXPECT_NE(printed.find("do_matmul_acc_i8"), std::string::npos)
+        << printed;
+    EXPECT_NE(printed.find("do_ld_i8_block_id1"), std::string::npos);
+    EXPECT_NE(printed.find("do_ld_i8_block_id2"), std::string::npos);
+    EXPECT_NE(printed.find("do_zero_acc_i32"), std::string::npos);
+    EXPECT_NE(printed.find("do_st_acc_i8"), std::string::npos);
+    EXPECT_NE(printed.find("GEMM_SCRATCH"), std::string::npos);
+    EXPECT_NE(printed.find("GEMM_ACCUM"), std::string::npos);
+    // Configs hoisted: the proc body starts with configuration calls.
+    const auto& body = s->body_stmts();
+    int leading_configs = 0;
+    for (const auto& st : body) {
+        if (st->kind() == StmtKind::Call && st->callee()->is_instr() &&
+            st->callee()->instr()->instr_class == "config") {
+            leading_configs++;
+        } else {
+            break;
+        }
+    }
+    EXPECT_EQ(leading_configs, 5) << printed;
+    expect_equiv(p, s, {{"N", 16}, {"M", 32}}, 1e-6);
+    expect_equiv(p, s, {{"N", 32}, {"M", 16}}, 1e-6);
+}
+
+TEST(Gemmini, HoistingReducesConfigTraffic)
+{
+    ProcPtr p = gemmini_matmul_kernel();
+    GemminiScheduleOpts no_hoist;
+    no_hoist.hoist_configs = false;
+    ProcPtr naive = schedule_gemmini_matmul(p, no_hoist);
+    ProcPtr hoisted = schedule_gemmini_matmul(p);
+    expect_equiv(naive, hoisted, {{"N", 16}, {"M", 16}}, 1e-6);
+
+    CostConfig cfg;
+    cfg.host_penalty = 4.0;
+    auto cost = [&](const ProcPtr& q) {
+        return simulate_cost_named(q, {{"N", 64}, {"M", 64}}, cfg);
+    };
+    CostResult a = cost(naive);
+    CostResult b = cost(hoisted);
+    EXPECT_GT(a.config_writes, b.config_writes * 10);
+    EXPECT_GT(a.cycles, b.cycles);
+}
+
+}  // namespace
+}  // namespace exo2

@@ -1,0 +1,144 @@
+#ifndef EXO2_TESTS_TEST_SUPPORT_H_
+#define EXO2_TESTS_TEST_SUPPORT_H_
+
+/**
+ * @file
+ * Shared test utilities: randomized equivalence checking between an
+ * original and a scheduled procedure via the reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/interp/interp.h"
+#include "src/ir/printer.h"
+#include "src/ir/proc.h"
+
+namespace exo2 {
+namespace testing_support {
+
+/** Evaluate a (size-dependent) dimension expression. */
+inline int64_t
+eval_dim(const ExprPtr& e, const std::map<std::string, int64_t>& sizes)
+{
+    switch (e->kind()) {
+      case ExprKind::Const:
+        return static_cast<int64_t>(e->const_value());
+      case ExprKind::Read: {
+        auto it = sizes.find(e->name());
+        if (it == sizes.end())
+            throw std::runtime_error("eval_dim: unknown size " + e->name());
+        return it->second;
+      }
+      case ExprKind::USub:
+        return -eval_dim(e->lhs(), sizes);
+      case ExprKind::BinOp: {
+        int64_t l = eval_dim(e->lhs(), sizes);
+        int64_t r = eval_dim(e->rhs(), sizes);
+        switch (e->op()) {
+          case BinOpKind::Add: return l + r;
+          case BinOpKind::Sub: return l - r;
+          case BinOpKind::Mul: return l * r;
+          case BinOpKind::Div: {
+            int64_t q = l / r;
+            if ((l % r != 0) && ((l < 0) != (r < 0)))
+                q -= 1;
+            return q;
+          }
+          case BinOpKind::Mod: {
+            int64_t m = l % r;
+            if (m != 0 && ((l < 0) != (r < 0)))
+                m += r;
+            return m;
+          }
+          default:
+            throw std::runtime_error("eval_dim: bad op");
+        }
+      }
+      default:
+        throw std::runtime_error("eval_dim: bad expr");
+    }
+}
+
+/** Materialized arguments for one interpretation run. */
+struct ArgSet
+{
+    std::vector<std::unique_ptr<Buffer>> buffers;
+    std::vector<RunArg> args;
+};
+
+/** Build arguments for `p` given size bindings; buffers random. */
+inline ArgSet
+make_args(const ProcPtr& p, const std::map<std::string, int64_t>& sizes,
+          uint64_t seed)
+{
+    ArgSet out;
+    uint64_t k = seed;
+    for (const auto& a : p->args()) {
+        if (a.is_size) {
+            auto it = sizes.find(a.name);
+            if (it == sizes.end())
+                throw std::runtime_error("make_args: size " + a.name +
+                                         " not provided");
+            out.args.push_back(RunArg::make_size(it->second));
+        } else if (a.dims.empty()) {
+            k = k * 2654435761u + 17;
+            double v = 0.25 + static_cast<double>(k % 97) / 97.0;
+            out.args.push_back(RunArg::make_scalar(v));
+        } else {
+            std::vector<int64_t> dims;
+            for (const auto& d : a.dims)
+                dims.push_back(eval_dim(d, sizes));
+            auto buf = std::make_unique<Buffer>(a.type, dims);
+            k = k * 2654435761u + 23;
+            buf->fill_random(k);
+            out.args.push_back(RunArg::make_buffer(buf.get()));
+            out.buffers.push_back(std::move(buf));
+        }
+    }
+    return out;
+}
+
+/**
+ * Run `orig` and `sched` with identical random inputs and require all
+ * buffer arguments to match within `tol` (relative).
+ */
+inline void
+expect_equiv(const ProcPtr& orig, const ProcPtr& sched,
+             const std::map<std::string, int64_t>& sizes,
+             double tol = 1e-4, uint64_t seed = 42)
+{
+    ArgSet a = make_args(orig, sizes, seed);
+    ArgSet b = make_args(sched, sizes, seed);
+    ASSERT_EQ(a.buffers.size(), b.buffers.size())
+        << "signature mismatch between original and scheduled procs";
+    interp_run(orig, a.args);
+    interp_run(sched, b.args);
+    for (size_t i = 0; i < a.buffers.size(); i++) {
+        const Buffer& x = *a.buffers[i];
+        const Buffer& y = *b.buffers[i];
+        ASSERT_EQ(x.size(), y.size());
+        for (int64_t j = 0; j < x.size(); j++) {
+            double xv = x.at(j);
+            double yv = y.at(j);
+            double err = std::fabs(xv - yv) /
+                         std::max(1.0, std::max(std::fabs(xv),
+                                                std::fabs(yv)));
+            ASSERT_LE(err, tol)
+                << "buffer " << i << " differs at flat index " << j
+                << ": " << xv << " vs " << yv << "\n--- original:\n"
+                << print_proc(orig) << "--- scheduled:\n"
+                << print_proc(sched);
+        }
+    }
+}
+
+}  // namespace testing_support
+}  // namespace exo2
+
+#endif  // EXO2_TESTS_TEST_SUPPORT_H_

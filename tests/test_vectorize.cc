@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the user-space vectorizer (Section 6.1.1): structural
+ * checks (the right instructions appear) plus interpreter equivalence
+ * across sizes including ragged tails.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/sched/vectorize.h"
+#include "tests/test_support.h"
+
+namespace exo2 {
+namespace {
+
+using sched::vectorize;
+using sched::VectorizeOpts;
+using testing_support::expect_equiv;
+
+const char* kAxpy = R"(
+def axpy(n: size, a: f32, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] += a * x[i]
+)";
+
+TEST(Vectorize, AxpyAvx2Structure)
+{
+    ProcPtr p = parse_proc(kAxpy);
+    ProcPtr v = vectorize(p, p->find_loop("i"), machine_avx2(),
+                          ScalarType::F32);
+    std::string printed = print_proc(v);
+    EXPECT_NE(printed.find("mm256_set1_ps"), std::string::npos) << printed;
+    EXPECT_NE(printed.find("mm256_loadu_ps"), std::string::npos);
+    EXPECT_NE(printed.find("mm256_fmadd_ps"), std::string::npos);
+    EXPECT_NE(printed.find("mm256_storeu_ps"), std::string::npos);
+    for (int64_t n : {8, 16, 24})
+        expect_equiv(p, v, {{"n", n}});
+}
+
+TEST(Vectorize, AxpyCutTailEquivalence)
+{
+    ProcPtr p = parse_proc(kAxpy);
+    ProcPtr v = vectorize(p, p->find_loop("i"), machine_avx2(),
+                          ScalarType::F32);
+    for (int64_t n : {1, 5, 13, 27})
+        expect_equiv(p, v, {{"n", n}});
+}
+
+TEST(Vectorize, AxpyNoFmaStaging)
+{
+    // Figure 4b: without FMA, staging uses an explicit add.
+    ProcPtr p = parse_proc(kAxpy);
+    VectorizeOpts opts;
+    opts.use_fma = false;
+    ProcPtr v = vectorize(p, p->find_loop("i"), machine_avx2(),
+                          ScalarType::F32, opts);
+    std::string printed = print_proc(v);
+    EXPECT_EQ(printed.find("fmadd"), std::string::npos) << printed;
+    EXPECT_NE(printed.find("mm256_add_ps"), std::string::npos) << printed;
+    EXPECT_NE(printed.find("mm256_mul_ps"), std::string::npos);
+    for (int64_t n : {8, 11})
+        expect_equiv(p, v, {{"n", n}});
+}
+
+TEST(Vectorize, DotReduction)
+{
+    const char* kDot = R"(
+def dot(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM, res: f32[1] @ DRAM):
+    for i in seq(0, n):
+        res[0] += x[i] * y[i]
+)";
+    ProcPtr p = parse_proc(kDot);
+    ProcPtr v = vectorize(p, p->find_loop("i"), machine_avx2(),
+                          ScalarType::F32);
+    std::string printed = print_proc(v);
+    EXPECT_NE(printed.find("mm256_setzero_ps"), std::string::npos)
+        << printed;
+    EXPECT_NE(printed.find("mm256_reduce_add_ps"), std::string::npos);
+    EXPECT_NE(printed.find("mm256_fmadd_ps"), std::string::npos);
+    for (int64_t n : {8, 24, 13})
+        expect_equiv(p, v, {{"n", n}}, 2e-4);
+}
+
+TEST(Vectorize, ScalCopyAbs)
+{
+    const char* kScal = R"(
+def scal(n: size, a: f32, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = a * x[i]
+)";
+    ProcPtr p = parse_proc(kScal);
+    ProcPtr v = vectorize(p, p->find_loop("i"), machine_avx2(),
+                          ScalarType::F32);
+    EXPECT_NE(print_proc(v).find("mm256_mul_ps"), std::string::npos)
+        << print_proc(v);
+    for (int64_t n : {16, 9})
+        expect_equiv(p, v, {{"n", n}});
+
+    const char* kAsumBody = R"(
+def asum(n: size, x: f32[n] @ DRAM, res: f32[1] @ DRAM):
+    for i in seq(0, n):
+        res[0] += abs(x[i])
+)";
+    ProcPtr pa = parse_proc(kAsumBody);
+    ProcPtr va = vectorize(pa, pa->find_loop("i"), machine_avx2(),
+                           ScalarType::F32);
+    EXPECT_NE(print_proc(va).find("mm256_abs_ps"), std::string::npos)
+        << print_proc(va);
+    for (int64_t n : {8, 19})
+        expect_equiv(pa, va, {{"n", n}}, 2e-4);
+}
+
+TEST(Vectorize, Float64Avx512)
+{
+    const char* kDaxpy = R"(
+def daxpy(n: size, a: f64, x: f64[n] @ DRAM, y: f64[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] += a * x[i]
+)";
+    ProcPtr p = parse_proc(kDaxpy);
+    ProcPtr v = vectorize(p, p->find_loop("i"), machine_avx512(),
+                          ScalarType::F64);
+    std::string printed = print_proc(v);
+    EXPECT_NE(printed.find("mm512_fmadd_pd"), std::string::npos) << printed;
+    for (int64_t n : {8, 21})
+        expect_equiv(p, v, {{"n", n}}, 1e-10);
+}
+
+TEST(Vectorize, PredicatedTail)
+{
+    ProcPtr p = parse_proc(kAxpy);
+    VectorizeOpts opts;
+    opts.tail = TailStrategy::CutAndGuard;  // masked tail on pred machines
+    ProcPtr v = vectorize(p, p->find_loop("i"), machine_avx512(),
+                          ScalarType::F32, opts);
+    std::string printed = print_proc(v);
+    EXPECT_NE(printed.find("mm512_maskz_loadu_ps"), std::string::npos)
+        << printed;
+    EXPECT_NE(printed.find("mm512_mask_storeu_ps"), std::string::npos);
+    for (int64_t n : {16, 7, 23, 1})
+        expect_equiv(p, v, {{"n", n}});
+}
+
+TEST(Vectorize, MaskedPreGuardedLoop)
+{
+    // The opt_skinny shape: a rounded loop with an explicit guard.
+    const char* src = R"(
+def r(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for j in seq(0, (n + 7) / 8 * 8):
+        if j < n:
+            y[j] += 2.0 * x[j]
+)";
+    ProcPtr p = parse_proc(src);
+    VectorizeOpts opts;
+    opts.masked = true;
+    ProcPtr v = vectorize(p, p->find_loop("j"), machine_avx2(),
+                          ScalarType::F32, opts);
+    std::string printed = print_proc(v);
+    EXPECT_NE(printed.find("mm256_maskz_loadu_ps"), std::string::npos)
+        << printed;
+    for (int64_t n : {8, 5, 17})
+        expect_equiv(p, v, {{"n", n}});
+}
+
+TEST(Vectorize, InterleaveLoop)
+{
+    ProcPtr p = parse_proc(kAxpy);
+    std::string vo;
+    ProcPtr v = vectorize(p, p->find_loop("i"), machine_avx2(),
+                          ScalarType::F32, VectorizeOpts(), &vo);
+    ProcPtr v2 = sched::interleave_loop(v, v->find_loop(vo), 4);
+    // Four fma calls in the unrolled body.
+    std::string printed = print_proc(v2);
+    size_t count = 0;
+    for (size_t pos = printed.find("mm256_fmadd_ps");
+         pos != std::string::npos;
+         pos = printed.find("mm256_fmadd_ps", pos + 1)) {
+        count++;
+    }
+    EXPECT_GE(count, 4u) << printed;
+    for (int64_t n : {64, 40, 13})
+        expect_equiv(p, v2, {{"n", n}});
+}
+
+TEST(Vectorize, CseReads)
+{
+    const char* src = R"(
+def r(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM, z: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] += x[i] * x[i]
+        z[i] += x[i] * 2.0
+)";
+    ProcPtr p = parse_proc(src);
+    ProcPtr c = sched::cse_reads(p, p->find_loop("i"));
+    std::string printed = print_proc(c);
+    // x[i] loaded once into a cse temp.
+    EXPECT_NE(printed.find("cse"), std::string::npos) << printed;
+    for (int64_t n : {4, 9})
+        expect_equiv(p, c, {{"n", n}});
+}
+
+}  // namespace
+}  // namespace exo2
