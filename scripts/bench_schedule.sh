@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Build Release, run the scheduling-time benchmarks, and append an entry
+# to the BENCH_schedule_time.json trajectory at the repo root.
+#
+# Usage: scripts/bench_schedule.sh [label]
+#   label defaults to the abbreviated git HEAD. Extra benchmark flags can
+#   be passed via EXO2_BENCH_FLAGS (e.g. --benchmark_filter=Sgemm).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
+build_dir=build-bench
+raw_out=$(mktemp /tmp/exo2_bench_raw.XXXXXX.json)
+
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DEXO2_BUILD_TESTS=OFF -DEXO2_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j"$(nproc)" --target bench_schedule_time
+
+EXO2_BENCH_OUT="$raw_out" "./$build_dir/bench_schedule_time" \
+    --benchmark_min_time=1 ${EXO2_BENCH_FLAGS:-}
+
+python3 - "$label" "$raw_out" BENCH_schedule_time.json <<'EOF'
+import json, sys, datetime
+
+label, raw_path, traj_path = sys.argv[1], sys.argv[2], sys.argv[3]
+raw = json.load(open(raw_path))
+
+entry = {
+    "label": label,
+    "date": datetime.date.today().isoformat(),
+    "benchmarks": {
+        b["name"]: {"real_time_ms": round(b["real_time"], 4)}
+        for b in raw["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"
+    },
+}
+
+try:
+    traj = json.load(open(traj_path))
+except FileNotFoundError:
+    traj = {"description": "Scheduling-time benchmark trajectory; one "
+                           "entry per measured revision (ms, real time).",
+            "entries": []}
+
+traj["entries"] = [e for e in traj["entries"] if e["label"] != label]
+traj["entries"].append(entry)
+json.dump(traj, open(traj_path, "w"), indent=2)
+print(f"appended '{label}' to {traj_path}")
+EOF
+
+rm -f "$raw_out"

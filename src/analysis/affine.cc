@@ -1,6 +1,12 @@
 #include "src/analysis/affine.h"
 
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/memo.h"
 #include "src/ir/builder.h"
+#include "src/ir/interner.h"
 #include "src/ir/printer.h"
 
 namespace exo2 {
@@ -8,8 +14,33 @@ namespace exo2 {
 int64_t
 Affine::coeff_of(const std::string& name) const
 {
-    auto it = terms.find(name);
+    // Lookup by canonical spelling, preserving the pre-interning
+    // contract (atoms like "n / 8" are addressable by their printed
+    // form). Spellings come from the print-once-per-atom cache; the
+    // hot elimination loop keys on intern ids via coeff_of_key.
+    for (const auto& [key, term] : terms) {
+        if (atom_spelling(key, term.atom) == name)
+            return term.coeff;
+    }
+    return 0;
+}
+
+int64_t
+Affine::coeff_of_key(AtomKey key) const
+{
+    auto it = terms.find(key);
     return it == terms.end() ? 0 : it->second.coeff;
+}
+
+uint64_t
+affine_hash(const Affine& a)
+{
+    uint64_t h = hash_combine(0xAFF1ull, static_cast<uint64_t>(a.constant));
+    for (const auto& [key, term] : a.terms) {
+        h = hash_combine(h, key);
+        h = hash_combine(h, static_cast<uint64_t>(term.coeff));
+    }
+    return h;
 }
 
 bool
@@ -24,12 +55,39 @@ Affine::mentions(const std::string& name) const
 
 namespace {
 
+/**
+ * Canonicalize an atom for keying: scalar variable reads are rewritten
+ * to their Index-typed form (and enclosing operator types rederived),
+ * so the same name denotes the same atom regardless of the type a
+ * lenient parse assigned it. This mirrors the spelling-based keying of
+ * the pre-interning implementation, where `n : f32` and `n : index`
+ * printed identically and therefore unified.
+ */
+ExprPtr
+canonical_atom(const ExprPtr& e)
+{
+    if (e->kind() == ExprKind::Read && e->idx().empty()) {
+        return e->type() == ScalarType::Index ? e : var(e->name());
+    }
+    auto kids = e->children();
+    bool changed = false;
+    for (auto& k : kids) {
+        ExprPtr nk = canonical_atom(k);
+        if (nk != k) {
+            changed = true;
+            k = std::move(nk);
+        }
+    }
+    return changed ? e->with_children(std::move(kids)) : e;
+}
+
 void
-add_term(Affine* a, const ExprPtr& atom, int64_t coeff)
+add_term(Affine* a, const ExprPtr& raw_atom, int64_t coeff)
 {
     if (coeff == 0)
         return;
-    std::string key = print_expr(atom);
+    ExprPtr atom = canonical_atom(raw_atom);
+    AtomKey key = atom->intern_id();
     auto it = a->terms.find(key);
     if (it == a->terms.end()) {
         a->terms[key] = LinTerm{atom, coeff};
@@ -48,14 +106,32 @@ accumulate(Affine* out, const Affine& a, int64_t scale)
         add_term(out, term.atom, scale * term.coeff);
 }
 
-}  // namespace
+/**
+ * Memo cache for to_affine. Keys are raw interned-Expr pointers, which
+ * are stable for the process lifetime (the interner retains every
+ * node); values are immutable once computed because expressions are.
+ */
+std::unordered_map<const Expr*, Affine>&
+affine_memo()
+{
+    static auto* m = new std::unordered_map<const Expr*, Affine>();
+    return *m;
+}
+
+void
+clear_affine_memo()
+{
+    affine_memo().clear();
+}
+
+memo_internal::ClearerRegistration affine_memo_reg(&clear_affine_memo);
+
+constexpr size_t kAffineMemoCap = 1u << 20;
 
 Affine
-to_affine(const ExprPtr& e)
+to_affine_uncached(const ExprPtr& e)
 {
     Affine out;
-    if (!e)
-        return out;
     switch (e->kind()) {
       case ExprKind::Const:
         out.constant = static_cast<int64_t>(e->const_value());
@@ -109,9 +185,56 @@ to_affine(const ExprPtr& e)
     }
 }
 
+}  // namespace
+
+Affine
+to_affine(const ExprPtr& e)
+{
+    if (!e)
+        return Affine{};
+    if (!analysis_memo_enabled())
+        return to_affine_uncached(e);
+    auto& memo = affine_memo();
+    auto it = memo.find(e.get());
+    if (it != memo.end()) {
+        memo_internal::g_stats.affine_hits++;
+        return it->second;
+    }
+    memo_internal::g_stats.affine_misses++;
+    Affine out = to_affine_uncached(e);
+    if (memo.size() >= kAffineMemoCap)
+        memo.clear();
+    memo.emplace(e.get(), out);
+    return out;
+}
+
+const std::string&
+atom_spelling(AtomKey key, const ExprPtr& atom)
+{
+    // Print-once cache: interned atoms are immortal, so the spelling
+    // for a key never changes and the cache needs no invalidation.
+    static auto* m = new std::unordered_map<AtomKey, std::string>();
+    auto it = m->find(key);
+    if (it == m->end())
+        it = m->emplace(key, print_expr(atom)).first;
+    return it->second;
+}
+
 ExprPtr
 affine_to_expr(const Affine& a)
 {
+    // Emit terms in canonical-spelling order, matching the printed-form
+    // keying of the pre-interning implementation (stable output, and
+    // downstream tests/goldens depend on it).
+    std::vector<const LinTerm*> ordered;
+    ordered.reserve(a.terms.size());
+    for (const auto& [key, term] : a.terms)
+        ordered.push_back(&term);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const LinTerm* x, const LinTerm* y) {
+                  return atom_spelling(x->atom->intern_id(), x->atom) <
+                         atom_spelling(y->atom->intern_id(), y->atom);
+              });
     ExprPtr out;
     auto emit = [&](ExprPtr piece, bool negate) {
         if (!out) {
@@ -120,7 +243,8 @@ affine_to_expr(const Affine& a)
             out = negate ? (out - piece) : (out + piece);
         }
     };
-    for (const auto& [key, term] : a.terms) {
+    for (const LinTerm* tp : ordered) {
+        const LinTerm& term = *tp;
         int64_t c = term.coeff;
         bool neg = c < 0;
         int64_t mag = neg ? -c : c;

@@ -7,9 +7,13 @@
  *
  * Index expressions are normalized to `constant + sum(coeff_i * atom_i)`
  * where an atom is either a variable or an opaque non-affine
- * subexpression (a division, modulo, or variable product) keyed by its
- * canonical printed form. Treating non-affine subterms as opaque atoms
- * keeps the analysis total while remaining conservative.
+ * subexpression (a division, modulo, or variable product). Because
+ * expressions are hash-consed (ir/interner.h), an atom is identified by
+ * its dense intern id — structural identity — instead of the canonical
+ * printed form the original implementation used; this removes all
+ * string formatting and string-keyed map traffic from the hot path.
+ * Treating non-affine subterms as opaque atoms keeps the analysis total
+ * while remaining conservative.
  */
 
 #include <cstdint>
@@ -21,6 +25,9 @@
 
 namespace exo2 {
 
+/** Atom identity: the intern id of the (hash-consed) atom expression. */
+using AtomKey = uint64_t;
+
 /** One linear term: `coeff * atom`. */
 struct LinTerm
 {
@@ -28,22 +35,35 @@ struct LinTerm
     int64_t coeff = 0;
 };
 
-/** `constant + sum(terms)`, terms keyed by canonical spelling. */
+/** `constant + sum(terms)`, terms keyed by atom intern id. */
 struct Affine
 {
     int64_t constant = 0;
-    std::map<std::string, LinTerm> terms;
+    std::map<AtomKey, LinTerm> terms;
 
     bool is_const() const { return terms.empty(); }
 
     /** Coefficient of variable `name` (0 if absent). */
     int64_t coeff_of(const std::string& name) const;
 
+    /** Coefficient of the atom with intern id `key` (0 if absent). */
+    int64_t coeff_of_key(AtomKey key) const;
+
     /** True if any atom mentions variable `name` (even inside opaques). */
     bool mentions(const std::string& name) const;
 };
 
-/** Normalize an expression. Total: non-affine parts become atoms. */
+/** Order-insensitive-friendly hash of a normal form (terms iterate in
+ *  key order, so equal Affines hash equal). */
+uint64_t affine_hash(const Affine& a);
+
+/** Canonical printed form of an atom, cached per intern id. Used to
+ *  keep spelling-based orderings (term emission, FM elimination order)
+ *  identical to the pre-interning implementation. */
+const std::string& atom_spelling(AtomKey key, const ExprPtr& atom);
+
+/** Normalize an expression. Total: non-affine parts become atoms.
+ *  Memoized per interned node (see analysis/memo.h). */
 Affine to_affine(const ExprPtr& e);
 
 /** Rebuild an expression from a normal form (used by simplify). */

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <unordered_map>
 
+#include "src/analysis/memo.h"
 #include "src/ir/builder.h"
 #include "src/ir/errors.h"
+#include "src/ir/interner.h"
 #include "src/ir/printer.h"
 
 namespace exo2 {
@@ -393,21 +396,117 @@ assume_access(LinearSystem* sys, const Access& a)
         sys->add_pred(g);
 }
 
+/**
+ * Per-subtree effect summary caches.
+ *
+ * Soundness: statements are immutable, and the collection at an empty
+ * environment is a function of the subtree alone — apart from the
+ * fresh names minted for loop binders. Cached summaries therefore fix
+ * one alpha-variant of the binder names; every consumer that combines
+ * two summaries (`accesses_conflict`, `cross_iteration_conflict`)
+ * renames binders apart before solving, so reusing a variant is
+ * indistinguishable from recollecting. Entries hold a strong StmtPtr,
+ * pinning the key pointer against reuse-after-free.
+ *
+ * Spine-rebuilding edits (cursor/edits.cc) preserve every untouched
+ * subtree by pointer, which is exactly what makes these caches hit
+ * across consecutive scheduling primitives.
+ */
+struct StmtEffectsEntry
+{
+    StmtPtr pin;
+    std::vector<Access> accs;
+};
+
+struct BlockEffectsEntry
+{
+    std::vector<StmtPtr> stmts;  ///< key (and pin): exact pointer sequence
+    std::vector<Access> accs;
+};
+
+std::unordered_map<const Stmt*, StmtEffectsEntry>&
+stmt_effects_cache()
+{
+    static auto* c = new std::unordered_map<const Stmt*, StmtEffectsEntry>();
+    return *c;
+}
+
+std::unordered_multimap<uint64_t, BlockEffectsEntry>&
+block_effects_cache()
+{
+    static auto* c =
+        new std::unordered_multimap<uint64_t, BlockEffectsEntry>();
+    return *c;
+}
+
+void
+clear_effects_memo()
+{
+    stmt_effects_cache().clear();
+    block_effects_cache().clear();
+}
+
+memo_internal::ClearerRegistration effects_memo_reg(&clear_effects_memo);
+
+constexpr size_t kEffectsMemoCap = 1u << 16;
+
+uint64_t
+block_ptr_hash(const std::vector<StmtPtr>& b)
+{
+    uint64_t h = 0xEFFEC75ull;
+    for (const auto& s : b)
+        h = hash_combine(h, reinterpret_cast<uintptr_t>(s.get()));
+    return h;
+}
+
 }  // namespace
 
 std::vector<Access>
 collect_accesses(const StmtPtr& s)
 {
+    if (!analysis_memo_enabled()) {
+        Collector c;
+        c.stmt(s, Env{});
+        return std::move(c.out);
+    }
+    auto& cache = stmt_effects_cache();
+    auto it = cache.find(s.get());
+    if (it != cache.end()) {
+        memo_internal::g_stats.effects_hits++;
+        return it->second.accs;
+    }
+    memo_internal::g_stats.effects_misses++;
     Collector c;
     c.stmt(s, Env{});
+    if (cache.size() >= kEffectsMemoCap)
+        cache.clear();
+    cache.emplace(s.get(), StmtEffectsEntry{s, c.out});
     return std::move(c.out);
 }
 
 std::vector<Access>
 collect_accesses_block(const std::vector<StmtPtr>& b)
 {
+    if (!analysis_memo_enabled()) {
+        Collector c;
+        c.block(b, Env{});
+        return std::move(c.out);
+    }
+    auto& cache = block_effects_cache();
+    uint64_t h = block_ptr_hash(b);
+    auto range = cache.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+        if (it->second.stmts == b) {
+            memo_internal::g_stats.effects_hits++;
+            return it->second.accs;
+        }
+    }
+    memo_internal::g_stats.effects_misses++;
     Collector c;
     c.block(b, Env{});
+    if (cache.size() >= kEffectsMemoCap)
+        cache.clear();
+    cache.emplace(h, BlockEffectsEntry{b, c.out});
     return std::move(c.out);
 }
 

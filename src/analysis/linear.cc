@@ -4,9 +4,11 @@
 #include <map>
 #include <numeric>
 #include <set>
+#include <unordered_map>
 
+#include "src/analysis/memo.h"
 #include "src/ir/builder.h"
-#include "src/ir/printer.h"
+#include "src/ir/interner.h"
 
 namespace exo2 {
 
@@ -16,6 +18,50 @@ namespace {
 constexpr size_t kMaxConstraints = 4000;
 constexpr size_t kMaxVars = 40;
 constexpr int64_t kCoeffLimit = int64_t(1) << 40;
+
+/**
+ * Memo caches for the two query entry points. Keys are 128-bit digests
+ * (two independent 64-bit halves) so collisions are negligible; values
+ * are the boolean answers. The system half of the key is commutative
+ * over constraints, which conflates permutations of the same multiset —
+ * sound, because infeasibility is a property of the multiset and a
+ * proof found under one elimination order holds for all orders.
+ */
+struct U128Hash
+{
+    size_t operator()(const std::pair<uint64_t, uint64_t>& k) const
+    {
+        return static_cast<size_t>(hash_combine(k.first, k.second));
+    }
+};
+
+using QueryCache =
+    std::unordered_map<std::pair<uint64_t, uint64_t>, bool, U128Hash>;
+
+QueryCache&
+infeasible_cache()
+{
+    static auto* c = new QueryCache();
+    return *c;
+}
+
+QueryCache&
+implies_cache()
+{
+    static auto* c = new QueryCache();
+    return *c;
+}
+
+void
+clear_linear_memo()
+{
+    infeasible_cache().clear();
+    implies_cache().clear();
+}
+
+memo_internal::ClearerRegistration linear_memo_reg(&clear_linear_memo);
+
+constexpr size_t kLinearMemoCap = 1u << 20;
 
 /** Normalize `a >= 0` by the gcd of its coefficients (integer
  *  tightening: constant is floored). */
@@ -91,7 +137,11 @@ LinearSystem::add_ge0(const Affine& a)
 {
     if (ge0_.size() >= kMaxConstraints)
         return;  // conservatively drop (weakens hypotheses only)
-    ge0_.push_back(tighten(a));
+    Affine t = tighten(a);
+    uint64_t h = affine_hash(t);
+    sig1_ += h;                // commutative: order-insensitive digest
+    sig2_ += hash_mix(h);      // independent second half
+    ge0_.push_back(std::move(t));
     axiomatize_atoms(a);
 }
 
@@ -183,22 +233,47 @@ LinearSystem::add_pred_negated(const ExprPtr& cond)
 bool
 LinearSystem::infeasible() const
 {
-    // Collect variables.
-    std::set<std::string> vars;
+    if (!analysis_memo_enabled())
+        return infeasible_uncached();
+    std::pair<uint64_t, uint64_t> key{hash_combine(sig1_, ge0_.size()),
+                                      sig2_};
+    auto& cache = infeasible_cache();
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+        memo_internal::g_stats.linear_hits++;
+        return it->second;
+    }
+    memo_internal::g_stats.linear_misses++;
+    bool ans = infeasible_uncached();
+    if (cache.size() >= kLinearMemoCap)
+        cache.clear();
+    cache.emplace(key, ans);
+    return ans;
+}
+
+bool
+LinearSystem::infeasible_uncached() const
+{
+    // Collect variables, ordered by canonical spelling: elimination
+    // order affects which integer-tightened proofs Fourier–Motzkin
+    // finds, so we keep the exact order of the string-keyed
+    // implementation (spellings come from a per-atom cache, not
+    // re-printing). Ties (distinct atoms, same spelling) break by id.
+    std::set<std::pair<std::string, AtomKey>> ordered_vars;
     for (const auto& c : ge0_) {
         for (const auto& [k, t] : c.terms)
-            vars.insert(k);
+            ordered_vars.insert({atom_spelling(k, t.atom), k});
     }
-    if (vars.size() > kMaxVars)
+    if (ordered_vars.size() > kMaxVars)
         return false;  // too big; answer unknown
 
     std::vector<Affine> cs = ge0_;
-    for (const auto& var : vars) {
+    for (const auto& [spelling, var] : ordered_vars) {
         std::vector<Affine> pos;
         std::vector<Affine> neg;
         std::vector<Affine> rest;
         for (auto& c : cs) {
-            int64_t co = c.coeff_of(var);
+            int64_t co = c.coeff_of_key(var);
             if (co > 0)
                 pos.push_back(c);
             else if (co < 0)
@@ -208,9 +283,9 @@ LinearSystem::infeasible() const
         }
         // Combine every (lower, upper) bound pair.
         for (const auto& p : pos) {
-            int64_t a = p.coeff_of(var);
+            int64_t a = p.coeff_of_key(var);
             for (const auto& n : neg) {
-                int64_t b = -n.coeff_of(var);
+                int64_t b = -n.coeff_of_key(var);
                 // b*p + a*n eliminates var.
                 if (std::abs(a) > kCoeffLimit || std::abs(b) > kCoeffLimit)
                     return false;
@@ -257,12 +332,36 @@ LinearSystem::infeasible() const
 bool
 LinearSystem::implies_ge0(const Affine& a) const
 {
-    // Refute a <= -1.
+    if (!analysis_memo_enabled()) {
+        // Refute a <= -1.
+        LinearSystem s = *this;
+        Affine neg = affine_neg(a);
+        neg.constant -= 1;
+        s.add_ge0(neg);
+        return s.infeasible();
+    }
+    // The (system digest, query hash) pair determines the answer, so a
+    // hit skips both the system copy and the elimination.
+    uint64_t qh = affine_hash(a);
+    std::pair<uint64_t, uint64_t> key{
+        hash_combine(hash_combine(sig1_, ge0_.size()), qh),
+        hash_combine(sig2_, hash_mix(qh))};
+    auto& cache = implies_cache();
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+        memo_internal::g_stats.linear_hits++;
+        return it->second;
+    }
+    memo_internal::g_stats.linear_misses++;
     LinearSystem s = *this;
     Affine neg = affine_neg(a);
     neg.constant -= 1;
     s.add_ge0(neg);
-    return s.infeasible();
+    bool ans = s.infeasible();
+    if (cache.size() >= kLinearMemoCap)
+        cache.clear();
+    cache.emplace(key, ans);
+    return ans;
 }
 
 bool

@@ -46,6 +46,11 @@ class LinearSystem
      * Is the system infeasible over the integers? Sound "yes": a true
      * return guarantees no integer solution. May answer false (unknown)
      * for feasible or hard systems.
+     *
+     * Memoized process-wide on a commutative digest of the constraint
+     * multiset (see analysis/memo.h): infeasibility is a property of
+     * the constraint multiset, so a cached "yes" stays sound no matter
+     * the insertion order that produced it.
      */
     bool infeasible() const;
 
@@ -67,8 +72,17 @@ class LinearSystem
   private:
     void axiomatize_atoms(const Affine& a);
 
+    /** Run Fourier–Motzkin without consulting the memo cache. */
+    bool infeasible_uncached() const;
+
     std::vector<Affine> ge0_;
-    std::vector<std::string> axiomatized_;
+    std::vector<AtomKey> axiomatized_;
+
+    /** Incremental order-insensitive digest of ge0_ (two independent
+     *  commutative sums), used as the memo key for implication and
+     *  infeasibility queries. Updated by add_ge0. */
+    uint64_t sig1_ = 0;
+    uint64_t sig2_ = 0;
 };
 
 }  // namespace exo2

@@ -1,0 +1,65 @@
+#include "src/analysis/memo.h"
+
+#include <vector>
+
+namespace exo2 {
+
+namespace {
+
+bool g_enabled = true;
+
+std::vector<void (*)()>&
+clearers()
+{
+    static std::vector<void (*)()> v;
+    return v;
+}
+
+}  // namespace
+
+namespace memo_internal {
+
+AnalysisMemoStats g_stats;
+
+void
+register_clearer(void (*fn)())
+{
+    clearers().push_back(fn);
+}
+
+}  // namespace memo_internal
+
+bool
+analysis_memo_enabled()
+{
+    return g_enabled;
+}
+
+void
+set_analysis_memo_enabled(bool on)
+{
+    if (g_enabled && !on)
+        clear_analysis_memo();
+    g_enabled = on;
+}
+
+void
+clear_analysis_memo()
+{
+    for (auto fn : clearers())
+        fn();
+}
+
+AnalysisMemoStats
+analysis_memo_stats()
+{
+    return memo_internal::g_stats;
+}
+
+void
+reset_analysis_memo_stats()
+{
+    memo_internal::g_stats = AnalysisMemoStats{};
+}
+
+}  // namespace exo2

@@ -422,6 +422,14 @@ ProcPtr
 apply_replace_stmt_same_shape(const ProcPtr& p, const Path& path,
                               StmtPtr repl, const std::string& action)
 {
+    // No-op edit: the replacement IS the current statement (common with
+    // hash-consed subtrees). Skip the spine rebuild and the provenance
+    // hop entirely; existing cursors stay valid as-is.
+    NodeRef cur = node_at(p, path);
+    if (std::holds_alternative<StmtPtr>(cur) &&
+        std::get<StmtPtr>(cur) == repl) {
+        return p;
+    }
     return p->with_body(rebuild_node(p, path, NodeRef(std::move(repl))),
                         fwd_identity(), action);
 }
@@ -430,6 +438,14 @@ ProcPtr
 apply_replace_expr(const ProcPtr& p, const Path& path, ExprPtr repl,
                    const std::string& action)
 {
+    // Interning makes no-op expression rewrites pointer-identical;
+    // returning `p` avoids both the rebuild and needlessly
+    // invalidating cursors below `path`.
+    NodeRef cur = node_at(p, path);
+    if (std::holds_alternative<ExprPtr>(cur) &&
+        std::get<ExprPtr>(cur) == repl) {
+        return p;
+    }
     return p->with_body(rebuild_node(p, path, NodeRef(std::move(repl))),
                         fwd_invalidate_below(path), action);
 }

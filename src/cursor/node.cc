@@ -92,10 +92,16 @@ expr_child(const ExprPtr& e, const PathStep& step)
     }
 }
 
-/** Rebuild a statement with the child at `step` replaced by `node`. */
+/** Rebuild a statement with the child at `step` replaced by `node`.
+ *  Returns `s` itself when the replacement is pointer-identical to the
+ *  existing child: no-op edits then preserve the whole spine (and with
+ *  it every cached analysis keyed on those subtrees). */
 StmtPtr
 stmt_with_child(const StmtPtr& s, const PathStep& step, NodeRef node)
 {
+    NodeRef cur = stmt_child(s, step);
+    if (cur == node)
+        return s;
     auto as_stmt = [&]() -> StmtPtr {
         if (!std::holds_alternative<StmtPtr>(node))
             bad_path("expected statement node");
@@ -149,6 +155,8 @@ stmt_with_child(const StmtPtr& s, const PathStep& step, NodeRef node)
 ExprPtr
 expr_with_child(const ExprPtr& e, const PathStep& step, const ExprPtr& child)
 {
+    if (expr_child(e, step) == child)
+        return e;  // no-op: keep the interned node
     auto kids = e->children();
     // Map step to position in children() order.
     switch (e->kind()) {

@@ -1,6 +1,7 @@
 #include "src/cursor/pattern.h"
 
 #include <cstdlib>
+#include <unordered_map>
 
 #include "src/frontend/parser.h"
 #include "src/ir/errors.h"
@@ -43,6 +44,10 @@ match_expr_list(const std::vector<ExprPtr>& pat,
 bool
 match_expr(const ExprPtr& pat, const ExprPtr& e)
 {
+    // Interned pointer identity: a node trivially matches itself (every
+    // construct matches an identical construct, wildcards included).
+    if (pat == e && pat)
+        return true;
     if (is_wildcard_expr(pat))
         return true;
     if (!pat || !e || pat->kind() != e->kind())
@@ -92,6 +97,8 @@ pattern_match_stmt(const StmtPtr& pat, const StmtPtr& s)
 {
     if (!pat || !s)
         return false;
+    if (pat == s)  // a statement trivially matches itself
+        return true;
     // `Call` patterns parsed without a resolvable callee store the name
     // on the stmt itself.
     if (pat->kind() != s->kind())
@@ -201,13 +208,33 @@ find_matching(const ProcPtr& p, const Path& prefix, const StmtPtr& pat)
 
 }  // namespace
 
+namespace {
+
+/** Parsed-pattern cache: schedules re-find the same handful of pattern
+ *  strings across every step, so parsing each once is enough. */
+StmtPtr
+cached_parse_pattern(const std::string& body)
+{
+    static auto* cache = new std::unordered_map<std::string, StmtPtr>();
+    auto it = cache->find(body);
+    if (it != cache->end())
+        return it->second;
+    StmtPtr pat = parse_pattern(body + "\n");
+    if (cache->size() >= 4096)
+        cache->clear();
+    cache->emplace(body, pat);
+    return pat;
+}
+
+}  // namespace
+
 std::vector<Cursor>
 pattern_find_all(const ProcPtr& p, const Path& prefix,
                  const std::string& pattern)
 {
     int k = -1;
     std::string body = split_selector(pattern, &k);
-    StmtPtr pat = parse_pattern(body + "\n");
+    StmtPtr pat = cached_parse_pattern(body);
     auto all = find_matching(p, prefix, pat);
     if (k >= 0) {
         if (k >= static_cast<int>(all.size()))

@@ -66,12 +66,25 @@ struct WindowDim
  * A single class with a kind tag (rather than a virtual hierarchy) keeps
  * structural operations — equality, substitution, path navigation,
  * unification — in one place each.
+ *
+ * Nodes are hash-consed: every factory interns through a process-global
+ * table (see ir/interner.h), so structurally equal expressions are the
+ * same object and `a == b` decides structural equality in O(1). The
+ * cached structural hash and dense intern id are what the analysis
+ * layer keys its memo caches on.
  */
 class Expr
 {
   public:
     ExprKind kind() const { return kind_; }
     ScalarType type() const { return type_; }
+
+    /** Cached 64-bit structural hash (equal for structurally equal
+     *  exprs; computed once at construction). */
+    uint64_t structural_hash() const { return hash_; }
+
+    /** Dense id unique to this interned node (creation order). */
+    uint64_t intern_id() const { return id_; }
 
     /** Literal value (Const). Bools are 0.0/1.0. */
     double const_value() const { return const_value_; }
@@ -121,6 +134,12 @@ class Expr
   private:
     Expr() = default;
 
+    /** Intern a candidate node: return the existing structurally equal
+     *  node, or move `tmp` into the table. Defined in expr.cc. */
+    static ExprPtr intern(Expr&& tmp);
+
+    uint64_t hash_ = 0;
+    uint64_t id_ = 0;
     ExprKind kind_ = ExprKind::Const;
     ScalarType type_ = ScalarType::Index;
     double const_value_ = 0.0;

@@ -1,8 +1,90 @@
 #include "src/ir/stmt.h"
 
 #include "src/ir/errors.h"
+#include "src/ir/interner.h"
 
 namespace exo2 {
+
+namespace {
+
+uint64_t
+expr_hash_or(const ExprPtr& e, uint64_t fallback)
+{
+    return e ? e->structural_hash() : fallback;
+}
+
+uint64_t
+hash_expr_list(uint64_t h, const std::vector<ExprPtr>& es)
+{
+    h = hash_combine(h, es.size());
+    for (const auto& e : es)
+        h = hash_combine(h, e->structural_hash());
+    return h;
+}
+
+uint64_t
+hash_stmt_list(uint64_t h, const std::vector<StmtPtr>& b)
+{
+    h = hash_combine(h, b.size());
+    for (const auto& s : b)
+        h = hash_combine(h, s->structural_hash());
+    return h;
+}
+
+}  // namespace
+
+void
+Stmt::rehash()
+{
+    // Mirrors stmt_equal: hash exactly the fields equality compares,
+    // per kind, so equal statements always share a hash.
+    uint64_t h = hash_combine(0x57A7ull, static_cast<uint64_t>(kind_));
+    switch (kind_) {
+      case StmtKind::Assign:
+      case StmtKind::Reduce:
+        h = hash_combine(h, hash_str(name_));
+        h = hash_combine(h, static_cast<uint64_t>(type_));
+        h = hash_expr_list(h, idx_);
+        h = hash_combine(h, expr_hash_or(rhs_, 0x2Aull));
+        break;
+      case StmtKind::Alloc:
+        h = hash_combine(h, hash_str(name_));
+        h = hash_combine(h, static_cast<uint64_t>(type_));
+        h = hash_combine(h, reinterpret_cast<uintptr_t>(mem_.get()));
+        h = hash_expr_list(h, dims_);
+        break;
+      case StmtKind::For:
+        h = hash_combine(h, hash_str(iter_));
+        h = hash_combine(h, static_cast<uint64_t>(loop_mode_));
+        h = hash_combine(h, expr_hash_or(lo_, 0x10ull));
+        h = hash_combine(h, expr_hash_or(hi_, 0x11ull));
+        h = hash_stmt_list(h, body_);
+        break;
+      case StmtKind::If:
+        h = hash_combine(h, expr_hash_or(cond_, 0x1Full));
+        h = hash_stmt_list(h, body_);
+        h = hash_stmt_list(h, orelse_);
+        break;
+      case StmtKind::Pass:
+        break;
+      case StmtKind::Call:
+        h = hash_combine(h, reinterpret_cast<uintptr_t>(callee_.get()));
+        if (!callee_)  // pattern-only call: the name stands in
+            h = hash_combine(h, hash_str(name_));
+        h = hash_expr_list(h, args_);
+        break;
+      case StmtKind::WriteConfig:
+        h = hash_combine(h, hash_str(name_));
+        h = hash_combine(h, hash_str(field_));
+        h = hash_combine(h, expr_hash_or(rhs_, 0x2Aull));
+        break;
+      case StmtKind::WindowDecl:
+        h = hash_combine(h, hash_str(name_));
+        h = hash_combine(h, expr_hash_or(rhs_, 0x2Aull));
+        break;
+    }
+    hash_ = h;
+}
 
 StmtPtr
 Stmt::make_assign(std::string name, std::vector<ExprPtr> idx, ExprPtr rhs,
@@ -14,6 +96,7 @@ Stmt::make_assign(std::string name, std::vector<ExprPtr> idx, ExprPtr rhs,
     s->idx_ = std::move(idx);
     s->rhs_ = std::move(rhs);
     s->type_ = t;
+    s->rehash();
     return s;
 }
 
@@ -27,6 +110,7 @@ Stmt::make_reduce(std::string name, std::vector<ExprPtr> idx, ExprPtr rhs,
     s->idx_ = std::move(idx);
     s->rhs_ = std::move(rhs);
     s->type_ = t;
+    s->rehash();
     return s;
 }
 
@@ -40,6 +124,7 @@ Stmt::make_alloc(std::string name, ScalarType t, std::vector<ExprPtr> dims,
     s->type_ = t;
     s->dims_ = std::move(dims);
     s->mem_ = mem ? std::move(mem) : mem_dram();
+    s->rehash();
     return s;
 }
 
@@ -54,6 +139,7 @@ Stmt::make_for(std::string iter, ExprPtr lo, ExprPtr hi,
     s->hi_ = std::move(hi);
     s->body_ = std::move(body);
     s->loop_mode_ = mode;
+    s->rehash();
     return s;
 }
 
@@ -66,6 +152,7 @@ Stmt::make_if(ExprPtr cond, std::vector<StmtPtr> body,
     s->cond_ = std::move(cond);
     s->body_ = std::move(body);
     s->orelse_ = std::move(orelse);
+    s->rehash();
     return s;
 }
 
@@ -74,6 +161,7 @@ Stmt::make_pass()
 {
     auto s = std::shared_ptr<Stmt>(new Stmt());
     s->kind_ = StmtKind::Pass;
+    s->rehash();
     return s;
 }
 
@@ -84,6 +172,7 @@ Stmt::make_call(ProcPtr callee, std::vector<ExprPtr> args)
     s->kind_ = StmtKind::Call;
     s->callee_ = std::move(callee);
     s->args_ = std::move(args);
+    s->rehash();
     return s;
 }
 
@@ -95,6 +184,7 @@ Stmt::make_write_config(std::string cfg, std::string field, ExprPtr rhs)
     s->name_ = std::move(cfg);
     s->field_ = std::move(field);
     s->rhs_ = std::move(rhs);
+    s->rehash();
     return s;
 }
 
@@ -106,6 +196,7 @@ Stmt::make_window_decl(std::string name, ExprPtr window, ScalarType t)
     s->name_ = std::move(name);
     s->rhs_ = std::move(window);
     s->type_ = t;
+    s->rehash();
     return s;
 }
 
@@ -114,6 +205,7 @@ Stmt::make_window_decl(std::string name, ExprPtr window, ScalarType t)
     {                                                                        \
         auto s = std::shared_ptr<Stmt>(new Stmt(*this));                    \
         s->FIELD##_ = std::move(PARAM);                                     \
+        s->rehash();                                                         \
         return s;                                                            \
     }
 
@@ -137,6 +229,7 @@ Stmt::with_bounds(ExprPtr lo, ExprPtr hi) const
     auto s = std::shared_ptr<Stmt>(new Stmt(*this));
     s->lo_ = std::move(lo);
     s->hi_ = std::move(hi);
+    s->rehash();
     return s;
 }
 
@@ -145,6 +238,7 @@ Stmt::with_type(ScalarType t) const
 {
     auto s = std::shared_ptr<Stmt>(new Stmt(*this));
     s->type_ = t;
+    s->rehash();
     return s;
 }
 
@@ -153,6 +247,7 @@ Stmt::with_loop_mode(LoopMode mode) const
 {
     auto s = std::shared_ptr<Stmt>(new Stmt(*this));
     s->loop_mode_ = mode;
+    s->rehash();
     return s;
 }
 
@@ -161,8 +256,10 @@ stmt_equal(const StmtPtr& a, const StmtPtr& b)
 {
     if (a == b)
         return true;
-    if (!a || !b || a->kind() != b->kind())
+    if (!a || !b || a->structural_hash() != b->structural_hash() ||
+        a->kind() != b->kind()) {
         return false;
+    }
     switch (a->kind()) {
       case StmtKind::Assign:
       case StmtKind::Reduce: {
@@ -202,6 +299,10 @@ stmt_equal(const StmtPtr& a, const StmtPtr& b)
       case StmtKind::Call: {
         if (a->callee() != b->callee() || a->args().size() != b->args().size())
             return false;
+        // Pattern-only calls (null callee) are named by the stmt itself;
+        // compare the name so equality agrees with the structural hash.
+        if (!a->callee() && a->name() != b->name())
+            return false;
         for (size_t i = 0; i < a->args().size(); i++) {
             if (!expr_equal(a->args()[i], b->args()[i]))
                 return false;
@@ -229,15 +330,28 @@ block_equal(const std::vector<StmtPtr>& a, const std::vector<StmtPtr>& b)
     return true;
 }
 
+uint64_t
+block_hash(const std::vector<StmtPtr>& b)
+{
+    return hash_stmt_list(0xB10Cull, b);
+}
+
 StmtPtr
 stmt_subst(const StmtPtr& s, const std::string& name, const ExprPtr& repl)
 {
+    // Each case returns `s` itself when nothing changed: interning
+    // makes unchanged children pointer-identical, so plain vector ==
+    // (elementwise shared_ptr compare) detects the no-op exactly,
+    // preserving subtree identity and with it cached analysis results.
     if (!s)
         return s;
     // A binder with the same name shadows `name` below it.
     if (s->kind() == StmtKind::For && s->iter() == name) {
-        return s->with_bounds(expr_subst(s->lo(), name, repl),
-                              expr_subst(s->hi(), name, repl));
+        ExprPtr lo = expr_subst(s->lo(), name, repl);
+        ExprPtr hi = expr_subst(s->hi(), name, repl);
+        if (lo == s->lo() && hi == s->hi())
+            return s;
+        return s->with_bounds(std::move(lo), std::move(hi));
     }
     switch (s->kind()) {
       case StmtKind::Assign:
@@ -246,24 +360,41 @@ stmt_subst(const StmtPtr& s, const std::string& name, const ExprPtr& repl)
         idx.reserve(s->idx().size());
         for (const auto& e : s->idx())
             idx.push_back(expr_subst(e, name, repl));
-        return s->with_idx(std::move(idx))
-                ->with_rhs(expr_subst(s->rhs(), name, repl));
+        ExprPtr rhs = expr_subst(s->rhs(), name, repl);
+        if (rhs == s->rhs() && idx == s->idx())
+            return s;
+        return s->with_idx(std::move(idx))->with_rhs(std::move(rhs));
       }
       case StmtKind::Alloc: {
         std::vector<ExprPtr> dims;
         dims.reserve(s->dims().size());
         for (const auto& e : s->dims())
             dims.push_back(expr_subst(e, name, repl));
+        if (dims == s->dims())
+            return s;
         return s->with_dims(std::move(dims));
       }
-      case StmtKind::For:
-        return s->with_bounds(expr_subst(s->lo(), name, repl),
-                              expr_subst(s->hi(), name, repl))
-                ->with_body(block_subst(s->body(), name, repl));
-      case StmtKind::If:
-        return s->with_cond(expr_subst(s->cond(), name, repl))
-                ->with_body(block_subst(s->body(), name, repl))
-                ->with_orelse(block_subst(s->orelse(), name, repl));
+      case StmtKind::For: {
+        ExprPtr lo = expr_subst(s->lo(), name, repl);
+        ExprPtr hi = expr_subst(s->hi(), name, repl);
+        std::vector<StmtPtr> body = block_subst(s->body(), name, repl);
+        if (lo == s->lo() && hi == s->hi() && body == s->body())
+            return s;
+        return s->with_bounds(std::move(lo), std::move(hi))
+                ->with_body(std::move(body));
+      }
+      case StmtKind::If: {
+        ExprPtr cond = expr_subst(s->cond(), name, repl);
+        std::vector<StmtPtr> body = block_subst(s->body(), name, repl);
+        std::vector<StmtPtr> orelse = block_subst(s->orelse(), name, repl);
+        if (cond == s->cond() && body == s->body() &&
+            orelse == s->orelse()) {
+            return s;
+        }
+        return s->with_cond(std::move(cond))
+                ->with_body(std::move(body))
+                ->with_orelse(std::move(orelse));
+      }
       case StmtKind::Pass:
         return s;
       case StmtKind::Call: {
@@ -271,11 +402,17 @@ stmt_subst(const StmtPtr& s, const std::string& name, const ExprPtr& repl)
         args.reserve(s->args().size());
         for (const auto& e : s->args())
             args.push_back(expr_subst(e, name, repl));
+        if (args == s->args())
+            return s;
         return s->with_args(std::move(args));
       }
       case StmtKind::WriteConfig:
-      case StmtKind::WindowDecl:
-        return s->with_rhs(expr_subst(s->rhs(), name, repl));
+      case StmtKind::WindowDecl: {
+        ExprPtr rhs = expr_subst(s->rhs(), name, repl);
+        if (rhs == s->rhs())
+            return s;
+        return s->with_rhs(std::move(rhs));
+      }
     }
     throw InternalError("unknown stmt kind");
 }

@@ -49,6 +49,12 @@ class Stmt
   public:
     StmtKind kind() const { return kind_; }
 
+    /** Cached 64-bit structural hash: `stmt_equal(a, b)` implies equal
+     *  hashes, so a hash mismatch rejects equality in O(1). Computed
+     *  once per node by the factories / rebuilders over exactly the
+     *  fields `stmt_equal` compares (callee and memory by pointer). */
+    uint64_t structural_hash() const { return hash_; }
+
     /** Target name (Assign/Reduce/Alloc/WindowDecl), callee name (Call),
      *  or config name (WriteConfig). */
     const std::string& name() const { return name_; }
@@ -138,6 +144,10 @@ class Stmt
   private:
     Stmt() = default;
 
+    /** Recompute hash_ from the current fields (factories, with_*). */
+    void rehash();
+
+    uint64_t hash_ = 0;
     StmtKind kind_ = StmtKind::Pass;
     std::string name_;
     std::string field_;
@@ -162,6 +172,9 @@ bool stmt_equal(const StmtPtr& a, const StmtPtr& b);
 
 /** Deep structural equality of statement blocks. */
 bool block_equal(const std::vector<StmtPtr>& a, const std::vector<StmtPtr>& b);
+
+/** Combined structural hash of a statement block. */
+uint64_t block_hash(const std::vector<StmtPtr>& b);
 
 /**
  * Substitute scalar variable `name` by expression `repl` in all

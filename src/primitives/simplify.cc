@@ -204,6 +204,9 @@ simplify_block(const Context& ctx, const std::vector<StmtPtr>& b)
 StmtPtr
 simplify_stmt(Context ctx, const StmtPtr& s)
 {
+    // Every case returns `s` unchanged when simplification was a no-op
+    // (vector == compares elementwise shared_ptrs, which interning
+    // makes exact), keeping subtree identity and cached analyses.
     Simplifier sim(ctx);
     auto rw = [&](const ExprPtr& e) { return sim.expr(e); };
     switch (s->kind()) {
@@ -212,12 +215,17 @@ simplify_stmt(Context ctx, const StmtPtr& s)
         std::vector<ExprPtr> idx;
         for (const auto& i : s->idx())
             idx.push_back(rw(i));
-        return s->with_idx(std::move(idx))->with_rhs(rw(s->rhs()));
+        ExprPtr rhs = rw(s->rhs());
+        if (rhs == s->rhs() && idx == s->idx())
+            return s;
+        return s->with_idx(std::move(idx))->with_rhs(std::move(rhs));
       }
       case StmtKind::Alloc: {
         std::vector<ExprPtr> dims;
         for (const auto& d : s->dims())
             dims.push_back(rw(d));
+        if (dims == s->dims())
+            return s;
         return s->with_dims(std::move(dims));
       }
       case StmtKind::For: {
@@ -225,8 +233,11 @@ simplify_stmt(Context ctx, const StmtPtr& s)
         ExprPtr hi = rw(s->hi());
         Context inner = ctx;
         inner.enter_loop(s->iter(), lo, hi);
-        return s->with_bounds(lo, hi)->with_body(
-            simplify_block(inner, s->body()));
+        std::vector<StmtPtr> body = simplify_block(inner, s->body());
+        if (lo == s->lo() && hi == s->hi() && body == s->body())
+            return s;
+        return s->with_bounds(std::move(lo), std::move(hi))
+            ->with_body(std::move(body));
       }
       case StmtKind::If: {
         ExprPtr cond = rw(s->cond());
@@ -234,9 +245,15 @@ simplify_stmt(Context ctx, const StmtPtr& s)
         tctx.assume(cond);
         Context ectx = ctx;
         ectx.system().add_pred_negated(cond);
-        return s->with_cond(cond)
-            ->with_body(simplify_block(tctx, s->body()))
-            ->with_orelse(simplify_block(ectx, s->orelse()));
+        std::vector<StmtPtr> body = simplify_block(tctx, s->body());
+        std::vector<StmtPtr> orelse = simplify_block(ectx, s->orelse());
+        if (cond == s->cond() && body == s->body() &&
+            orelse == s->orelse()) {
+            return s;
+        }
+        return s->with_cond(std::move(cond))
+            ->with_body(std::move(body))
+            ->with_orelse(std::move(orelse));
       }
       case StmtKind::Pass:
         return s;
@@ -244,11 +261,17 @@ simplify_stmt(Context ctx, const StmtPtr& s)
         std::vector<ExprPtr> args;
         for (const auto& a : s->args())
             args.push_back(rw(a));
+        if (args == s->args())
+            return s;
         return s->with_args(std::move(args));
       }
       case StmtKind::WriteConfig:
-      case StmtKind::WindowDecl:
-        return s->with_rhs(rw(s->rhs()));
+      case StmtKind::WindowDecl: {
+        ExprPtr rhs = rw(s->rhs());
+        if (rhs == s->rhs())
+            return s;
+        return s->with_rhs(std::move(rhs));
+      }
     }
     throw InternalError("unknown stmt kind");
 }
