@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "src/analysis/memo.h"
+#include "src/cursor/accel.h"
+#include "src/ir/builder.h"
 #include "src/ir/interner.h"
 #include "src/kernels/blas.h"
 #include "src/kernels/image.h"
@@ -97,6 +99,92 @@ BM_PatternRefind(benchmark::State& state)
 }
 BENCHMARK(BM_PatternRefind)->Unit(benchmark::kMillisecond);
 
+/**
+ * Long-schedule scalability (DESIGN.md §3): n independent loop nests,
+ * one primitive applied per nest, a fixed set of origin cursors
+ * forwarded after every step and the target loop re-found by name each
+ * step. Pre-PR-2 this is O(n²) — forwarding replays the whole
+ * provenance chain and every find walks the whole tree; with path
+ * compression and the subtree pattern index the per-step cost is
+ * ~constant, so the sweep (50/200/800) should scale ~linearly.
+ */
+static ProcPtr
+make_long_proc(int n)
+{
+    std::vector<StmtPtr> body;
+    for (int k = 0; k < n; k++) {
+        std::string it = "i" + std::to_string(k);
+        ExprPtr rhs =
+            read("x", {var(it)}) + num_const(1.0, ScalarType::F32);
+        body.push_back(Stmt::make_for(
+            it, idx_const(0), idx_const(64),
+            {Stmt::make_assign("x", {var(it)}, rhs, ScalarType::F32)}));
+    }
+    return Proc::make(
+        "long_sched",
+        {buffer_arg("x", ScalarType::F32, {idx_const(64)})}, {},
+        std::move(body));
+}
+
+static ProcPtr
+run_long_schedule(const ProcPtr& base, int n)
+{
+    // Cursors created on the origin version, forwarded at every step —
+    // the paper's recommended style for long schedules.
+    std::vector<Cursor> tracked;
+    for (int k = 0; k < 16 && k < n; k++)
+        tracked.push_back(base->find_loop("i" + std::to_string(k)));
+    ProcPtr cur = base;
+    for (int k = 0; k < n; k++) {
+        std::string it = "i" + std::to_string(k);
+        Cursor lc = cur->find_loop(it);
+        cur = divide_loop(cur, lc, 4, {it + "o", it + "i"},
+                          TailStrategy::Cut);
+        for (const Cursor& c : tracked)
+            benchmark::DoNotOptimize(cur->forward(c));
+    }
+    return cur;
+}
+
+static void
+BM_LongSchedule(benchmark::State& state)
+{
+    ProcPtr base = make_long_proc(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            run_long_schedule(base, static_cast<int>(state.range(0))));
+    }
+}
+BENCHMARK(BM_LongSchedule)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+/** Ablation: identical schedule with forwarding compression and the
+ *  pattern index off — i.e. naive provenance replay + full-tree
+ *  search, the pre-PR-2 behavior. */
+static void
+BM_LongScheduleNoCompress(benchmark::State& state)
+{
+    ProcPtr base = make_long_proc(static_cast<int>(state.range(0)));
+    bool fwd_was = forwarding_compression_enabled();
+    bool idx_was = pattern_index_enabled();
+    set_forwarding_compression_enabled(false);
+    set_pattern_index_enabled(false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            run_long_schedule(base, static_cast<int>(state.range(0))));
+    }
+    set_forwarding_compression_enabled(fwd_was);
+    set_pattern_index_enabled(idx_was);
+}
+BENCHMARK(BM_LongScheduleNoCompress)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
 /** Ablation: the same schedules with every analysis memo cache off —
  *  quantifies what interning-keyed memoization buys on its own. */
 static void
@@ -133,6 +221,15 @@ BENCHMARK(BM_ScheduleBlurNoMemo)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char** argv)
 {
+    // EXO2_CURSOR_ACCEL=0 runs every benchmark with the cursor-layer
+    // acceleration off (naive forwarding replay + full-tree pattern
+    // search): the pre-PR-2 behavior, used to record the "pre" entry
+    // of the BENCH_schedule_time.json trajectory.
+    const char* accel_env = std::getenv("EXO2_CURSOR_ACCEL");
+    if (accel_env && std::strcmp(accel_env, "0") == 0) {
+        set_forwarding_compression_enabled(false);
+        set_pattern_index_enabled(false);
+    }
     std::vector<char*> args(argv, argv + argc);
     bool has_out = false;
     for (int i = 1; i < argc; i++) {
@@ -158,6 +255,15 @@ main(int argc, char** argv)
 
     InternerStats is = expr_interner_stats();
     AnalysisMemoStats ms = analysis_memo_stats();
+    CursorAccelStats cs = cursor_accel_stats();
+    std::fprintf(stderr,
+                 "cursor accel: fwd %llu hits / %llu steps, index %llu/%llu "
+                 "(hits/builds), %llu subtrees pruned\n",
+                 (unsigned long long)cs.fwd_hits,
+                 (unsigned long long)cs.fwd_misses,
+                 (unsigned long long)cs.index_hits,
+                 (unsigned long long)cs.index_misses,
+                 (unsigned long long)cs.index_pruned);
     std::fprintf(stderr,
                  "interner: %llu nodes, %llu hits / %llu misses\n"
                  "memo: affine %llu/%llu, linear %llu/%llu, "

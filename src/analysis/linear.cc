@@ -95,6 +95,96 @@ same_terms(const Affine& a, const Affine& b)
     return true;
 }
 
+/** Hash of the term part only (atoms + coefficients, not the constant):
+ *  bucket key for duplicate-row detection. */
+uint64_t
+terms_hash(const Affine& a)
+{
+    uint64_t h = hash_mix(a.terms.size());
+    for (const auto& [k, t] : a.terms)
+        h = hash_combine(h, hash_combine(k, static_cast<uint64_t>(t.coeff)));
+    return h;
+}
+
+/** Floor division for possibly-negative numerators. */
+int64_t
+floor_div(int64_t a, int64_t b)
+{
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        q--;
+    return q;
+}
+
+/**
+ * Cheap pre-passes before full Fourier–Motzkin:
+ *
+ *  1. Drop trivially redundant duplicate rows — same term vector, a
+ *     weaker (larger) constant. `c >= 0` with the smallest constant
+ *     implies all its duplicates, so dropping them loses no proofs and
+ *     shrinks every elimination round quadratically.
+ *  2. Single-variable bound propagation — rows `c*x + k >= 0` define an
+ *     integer interval per atom; an empty interval refutes the system
+ *     without any elimination. (FM would find the same refutation by
+ *     combining the two rows, but this catches the very common
+ *     `lo <= x < lo` guards in O(rows).)
+ *
+ * Returns true if the system is already provably infeasible; otherwise
+ * leaves the deduplicated rows in `cs`.
+ */
+bool
+prepass_infeasible(std::vector<Affine>* cs)
+{
+    // 1. Deduplicate rows (keep the tightest constant per term vector).
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+    std::vector<Affine> dedup;
+    dedup.reserve(cs->size());
+    for (auto& c : *cs) {
+        uint64_t h = terms_hash(c);
+        bool dup = false;
+        for (size_t j : buckets[h]) {
+            if (same_terms(dedup[j], c)) {
+                dedup[j].constant = std::min(dedup[j].constant, c.constant);
+                dup = true;
+                break;
+            }
+        }
+        if (!dup) {
+            buckets[h].push_back(dedup.size());
+            dedup.push_back(std::move(c));
+        }
+    }
+    *cs = std::move(dedup);
+    // 2. Per-atom integer intervals from single-term rows.
+    struct Bounds
+    {
+        int64_t lo = INT64_MIN;
+        int64_t hi = INT64_MAX;
+    };
+    std::unordered_map<AtomKey, Bounds> bounds;
+    for (const auto& c : *cs) {
+        if (c.terms.empty()) {
+            if (c.constant < 0)
+                return true;  // `k >= 0` with k < 0
+            continue;
+        }
+        if (c.terms.size() != 1)
+            continue;
+        const auto& [key, t] = *c.terms.begin();
+        Bounds& b = bounds[key];
+        if (t.coeff > 0) {
+            // x >= ceil(-k / c)  <=>  x >= -floor(k / c)
+            b.lo = std::max(b.lo, -floor_div(c.constant, t.coeff));
+        } else {
+            // x <= floor(k / -c)
+            b.hi = std::min(b.hi, floor_div(c.constant, -t.coeff));
+        }
+        if (b.lo > b.hi)
+            return true;  // empty interval: no integer solution
+    }
+    return false;
+}
+
 }  // namespace
 
 void
@@ -254,20 +344,26 @@ LinearSystem::infeasible() const
 bool
 LinearSystem::infeasible_uncached() const
 {
+    // Cheap pre-passes: duplicate-row dropping + single-variable bound
+    // propagation. These run before the var-count bail-out so oversized
+    // systems with directly contradictory bounds are still refuted.
+    std::vector<Affine> cs = ge0_;
+    if (prepass_infeasible(&cs))
+        return true;
+
     // Collect variables, ordered by canonical spelling: elimination
     // order affects which integer-tightened proofs Fourier–Motzkin
     // finds, so we keep the exact order of the string-keyed
     // implementation (spellings come from a per-atom cache, not
     // re-printing). Ties (distinct atoms, same spelling) break by id.
     std::set<std::pair<std::string, AtomKey>> ordered_vars;
-    for (const auto& c : ge0_) {
+    for (const auto& c : cs) {
         for (const auto& [k, t] : c.terms)
             ordered_vars.insert({atom_spelling(k, t.atom), k});
     }
     if (ordered_vars.size() > kMaxVars)
         return false;  // too big; answer unknown
 
-    std::vector<Affine> cs = ge0_;
     for (const auto& [spelling, var] : ordered_vars) {
         std::vector<Affine> pos;
         std::vector<Affine> neg;

@@ -1,9 +1,12 @@
 #include "src/cursor/cursor.h"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "src/cursor/accel.h"
 #include "src/cursor/pattern.h"
 #include "src/ir/errors.h"
+#include "src/ir/interner.h"
 
 namespace exo2 {
 
@@ -323,6 +326,101 @@ Cursor::find_loop(const std::string& name) const
     return pattern_find_loop(proc_, loc_.path, name);
 }
 
+namespace {
+
+uint64_t
+cursor_loc_hash(const CursorLoc& l)
+{
+    uint64_t h = hash_combine(static_cast<uint64_t>(l.kind),
+                              static_cast<uint64_t>(l.hi) + 1);
+    for (const PathStep& s : l.path) {
+        h = hash_combine(h, (static_cast<uint64_t>(s.label) << 32) ^
+                                static_cast<uint64_t>(s.index + 1));
+    }
+    return h;
+}
+
+/**
+ * Key of a memoized forwarding result: the origin (proc uid + location
+ * the cursor was created with) and the proc version the location has
+ * been forwarded to. Proc uids are never reused and procs are
+ * immutable, so entries can never go stale.
+ */
+struct FwdKey
+{
+    uint64_t target_uid;
+    uint64_t origin_uid;
+    CursorLoc loc;
+
+    bool operator==(const FwdKey& o) const
+    {
+        return target_uid == o.target_uid && origin_uid == o.origin_uid &&
+               loc == o.loc;
+    }
+};
+
+struct FwdKeyHash
+{
+    size_t operator()(const FwdKey& k) const
+    {
+        return static_cast<size_t>(hash_combine(
+            hash_combine(k.target_uid, k.origin_uid), cursor_loc_hash(k.loc)));
+    }
+};
+
+using FwdCache =
+    std::unordered_map<FwdKey, std::optional<CursorLoc>, FwdKeyHash>;
+
+FwdCache&
+fwd_cache()
+{
+    static auto* c = new FwdCache();
+    return *c;
+}
+
+void
+clear_fwd_cache()
+{
+    fwd_cache().clear();
+}
+
+accel_internal::ClearerRegistration fwd_cache_reg(&clear_fwd_cache);
+
+constexpr size_t kFwdCacheCap = 1u << 20;
+
+[[noreturn]] void
+not_an_ancestor()
+{
+    throw InvalidCursorError(
+        "cursor's procedure is not an ancestor of the target");
+}
+
+/** Pre-compression forwarding: replay the whole provenance chain. */
+Cursor
+forward_cursor_naive(const ProcPtr& p, const Cursor& c)
+{
+    std::vector<const Provenance*> chain;
+    const Proc* cur = p.get();
+    while (cur && cur->uid() != c.proc()->uid()) {
+        const auto& prov = cur->provenance();
+        if (!prov)
+            not_an_ancestor();
+        chain.push_back(prov.get());
+        cur = prov->parent.get();
+    }
+    if (!cur)
+        not_an_ancestor();
+    std::optional<CursorLoc> loc = c.loc();
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        loc = (*it)->fwd(*loc);
+        if (!loc)
+            return Cursor::invalid(p);
+    }
+    return Cursor(p, *loc);
+}
+
+}  // namespace
+
 Cursor
 forward_cursor(const ProcPtr& p, const Cursor& c)
 {
@@ -332,28 +430,59 @@ forward_cursor(const ProcPtr& p, const Cursor& c)
         return Cursor::invalid(p);
     if (c.proc()->uid() == p->uid())
         return Cursor(p, c.loc());
-    // Collect the provenance chain p -> ... -> c.proc().
-    std::vector<const Provenance*> chain;
+    if (!forwarding_compression_enabled())
+        return forward_cursor_naive(p, c);
+
+    // Path compression (DESIGN.md §3): walk up from `p` until we reach
+    // the origin or a version whose resolved location is memoized, then
+    // apply only the remaining (unseen) provenance suffix, caching the
+    // resolved location at every version on the way back down. A cursor
+    // forwarded after each of n scheduling steps thus pays O(1) per
+    // step amortized: each edit's forwarding function runs at most once
+    // per distinct (origin, location).
+    const uint64_t origin_uid = c.proc()->uid();
+    const uint64_t origin_gen = c.proc()->generation();
+    auto& cache = fwd_cache();
+    std::vector<const Proc*> pending;  // versions whose fwd is unapplied
+    std::optional<CursorLoc> loc;
     const Proc* cur = p.get();
-    while (cur && cur->uid() != c.proc()->uid()) {
-        const auto& prov = cur->provenance();
-        if (!prov) {
-            throw InvalidCursorError(
-                "cursor's procedure is not an ancestor of the target");
+    // One key for the whole walk (the origin loc's path vector is
+    // heap-allocated; copying it per probe would put an allocation in
+    // the exact hot loop this cache removes).
+    FwdKey key{0, origin_uid, c.loc()};
+    for (;;) {
+        if (cur->uid() == origin_uid) {
+            loc = c.loc();
+            break;
         }
-        chain.push_back(prov.get());
-        cur = prov->parent.get();
+        key.target_uid = cur->uid();
+        auto it = cache.find(key);
+        if (it != cache.end()) {
+            accel_internal::g_stats.fwd_hits++;
+            loc = it->second;
+            break;
+        }
+        // Generations are strictly increasing along provenance chains:
+        // once below the origin's generation, the origin is unreachable.
+        if (cur->generation() <= origin_gen || !cur->provenance())
+            not_an_ancestor();
+        pending.push_back(cur);
+        cur = cur->provenance()->parent.get();
     }
-    if (!cur) {
-        throw InvalidCursorError(
-            "cursor's procedure is not an ancestor of the target");
+    // Evict before (not during) the descent so a cap-crossing walk
+    // never discards the entries it is in the middle of inserting.
+    if (cache.size() + pending.size() >= kFwdCacheCap)
+        cache.clear();
+    for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+        if (loc) {
+            loc = (*it)->provenance()->fwd(*loc);
+            accel_internal::g_stats.fwd_misses++;
+        }
+        key.target_uid = (*it)->uid();
+        cache.emplace(key, loc);
     }
-    std::optional<CursorLoc> loc = c.loc();
-    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-        loc = (*it)->fwd(*loc);
-        if (!loc)
-            return Cursor::invalid(p);
-    }
+    if (!loc)
+        return Cursor::invalid(p);
     return Cursor(p, *loc);
 }
 

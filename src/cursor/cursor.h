@@ -48,9 +48,21 @@ class Cursor
     const CursorLoc& loc() const { return loc_; }
     CursorKind kind() const { return loc_.kind; }
 
+    /**
+     * Two valid cursors are equal iff they denote the same location on
+     * the same proc version. All invalid cursors compare equal — an
+     * invalid cursor denotes nothing, so the proc it was invalidated on
+     * is not observable through `is_valid()` and must not distinguish
+     * them (forwarding the same dead cursor along different provenance
+     * chains yields `==` results).
+     */
     bool operator==(const Cursor& o) const
     {
-        return valid_ == o.valid_ && proc_ == o.proc_ && loc_ == o.loc_;
+        if (valid_ != o.valid_)
+            return false;
+        if (!valid_)
+            return true;
+        return proc_ == o.proc_ && loc_ == o.loc_;
     }
 
     // -- Resolution ------------------------------------------------------

@@ -362,13 +362,47 @@ fwd_move(ListAddr src, int lo, int hi, ListAddr dst, int dst_gap)
     };
 }
 
-// -- Whole-proc helpers ---------------------------------------------------
+// -- Edit batches ---------------------------------------------------------
 
-ProcPtr
-apply_insert(const ProcPtr& p, const ListAddr& addr, int gap,
-             std::vector<StmtPtr> stmts, const std::string& action)
+namespace {
+
+/** Apply staged forwarding functions in order; nullopt short-circuits. */
+std::optional<CursorLoc>
+apply_fwd_chain(const std::vector<ForwardFn>& fwds, const CursorLoc& loc)
 {
-    const auto& list = stmt_list_at(p, addr);
+    std::optional<CursorLoc> cur = loc;
+    for (const auto& f : fwds) {
+        cur = f(*cur);
+        if (!cur)
+            return std::nullopt;
+    }
+    return cur;
+}
+
+}  // namespace
+
+EditBatch::EditBatch(ProcPtr p) : base_(std::move(p)), work_(base_) {}
+
+void
+EditBatch::stage(std::vector<StmtPtr> body, ForwardFn fwd)
+{
+    // The scratch proc exists only to resolve the next edit's
+    // coordinates; it is never published and gets no provenance.
+    work_ = Proc::make(base_->name(), base_->args(), base_->preds(),
+                       std::move(body), base_->instr());
+    fwds_.push_back(std::move(fwd));
+}
+
+std::optional<CursorLoc>
+EditBatch::forward(const CursorLoc& loc) const
+{
+    return apply_fwd_chain(fwds_, loc);
+}
+
+void
+EditBatch::insert(const ListAddr& addr, int gap, std::vector<StmtPtr> stmts)
+{
+    const auto& list = stmt_list_at(work_, addr);
     if (gap < 0 || gap > static_cast<int>(list.size()))
         throw InvalidCursorError("insertion gap out of range");
     std::vector<StmtPtr> nl(list.begin(), list.begin() + gap);
@@ -376,28 +410,26 @@ apply_insert(const ProcPtr& p, const ListAddr& addr, int gap,
     for (auto& s : stmts)
         nl.push_back(std::move(s));
     nl.insert(nl.end(), list.begin() + gap, list.end());
-    return p->with_body(rebuild_list(p, addr, std::move(nl)),
-                        fwd_insert(addr, gap, count), action);
+    stage(rebuild_list(work_, addr, std::move(nl)),
+          fwd_insert(addr, gap, count));
 }
 
-ProcPtr
-apply_erase(const ProcPtr& p, const ListAddr& addr, int lo, int hi,
-            const std::string& action)
+void
+EditBatch::erase(const ListAddr& addr, int lo, int hi)
 {
-    const auto& list = stmt_list_at(p, addr);
+    const auto& list = stmt_list_at(work_, addr);
     if (lo < 0 || hi > static_cast<int>(list.size()) || lo > hi)
         throw InvalidCursorError("erase range out of bounds");
     std::vector<StmtPtr> nl(list.begin(), list.begin() + lo);
     nl.insert(nl.end(), list.begin() + hi, list.end());
-    return p->with_body(rebuild_list(p, addr, std::move(nl)),
-                        fwd_erase(addr, lo, hi), action);
+    stage(rebuild_list(work_, addr, std::move(nl)), fwd_erase(addr, lo, hi));
 }
 
-ProcPtr
-apply_replace_range(const ProcPtr& p, const ListAddr& addr, int lo, int hi,
-                    std::vector<StmtPtr> repl, const std::string& action)
+void
+EditBatch::replace_range(const ListAddr& addr, int lo, int hi,
+                         std::vector<StmtPtr> repl)
 {
-    const auto& list = stmt_list_at(p, addr);
+    const auto& list = stmt_list_at(work_, addr);
     if (lo < 0 || hi > static_cast<int>(list.size()) || lo > hi)
         throw InvalidCursorError("replace range out of bounds");
     std::vector<StmtPtr> nl(list.begin(), list.begin() + lo);
@@ -405,8 +437,93 @@ apply_replace_range(const ProcPtr& p, const ListAddr& addr, int lo, int hi,
     for (auto& s : repl)
         nl.push_back(std::move(s));
     nl.insert(nl.end(), list.begin() + hi, list.end());
-    return p->with_body(rebuild_list(p, addr, std::move(nl)),
-                        fwd_replace_range(addr, lo, hi, count), action);
+    stage(rebuild_list(work_, addr, std::move(nl)),
+          fwd_replace_range(addr, lo, hi, count));
+}
+
+void
+EditBatch::replace_stmt_same_shape(const Path& path, StmtPtr repl)
+{
+    NodeRef cur = node_at(work_, path);
+    if (std::holds_alternative<StmtPtr>(cur) &&
+        std::get<StmtPtr>(cur) == repl) {
+        return;  // no-op (hash-consed subtree): nothing to stage
+    }
+    stage(rebuild_node(work_, path, NodeRef(std::move(repl))),
+          fwd_identity());
+}
+
+void
+EditBatch::replace_expr(const Path& path, ExprPtr repl)
+{
+    NodeRef cur = node_at(work_, path);
+    if (std::holds_alternative<ExprPtr>(cur) &&
+        std::get<ExprPtr>(cur) == repl) {
+        return;  // interned no-op
+    }
+    stage(rebuild_node(work_, path, NodeRef(std::move(repl))),
+          fwd_invalidate_below(path));
+}
+
+void
+EditBatch::wrap(const ListAddr& addr, int lo, int hi,
+                const std::function<StmtPtr(std::vector<StmtPtr>)>& wrap_fn)
+{
+    const auto& list = stmt_list_at(work_, addr);
+    if (lo < 0 || hi > static_cast<int>(list.size()) || lo >= hi)
+        throw InvalidCursorError("wrap range out of bounds");
+    std::vector<StmtPtr> inner(list.begin() + lo, list.begin() + hi);
+    StmtPtr wrapper = wrap_fn(std::move(inner));
+    std::vector<StmtPtr> nl(list.begin(), list.begin() + lo);
+    nl.push_back(std::move(wrapper));
+    nl.insert(nl.end(), list.begin() + hi, list.end());
+    stage(rebuild_list(work_, addr, std::move(nl)), fwd_wrap(addr, lo, hi));
+}
+
+ProcPtr
+EditBatch::commit(const std::string& action)
+{
+    if (fwds_.empty())
+        return base_;
+    ForwardFn fwd;
+    if (fwds_.size() == 1) {
+        fwd = std::move(fwds_[0]);
+    } else {
+        auto fs = std::make_shared<std::vector<ForwardFn>>(std::move(fwds_));
+        fwd = [fs](const CursorLoc& l) { return apply_fwd_chain(*fs, l); };
+    }
+    fwds_.clear();
+    return base_->with_body(std::vector<StmtPtr>(work_->body_stmts()),
+                            std::move(fwd), action);
+}
+
+// -- Whole-proc helpers ---------------------------------------------------
+
+ProcPtr
+apply_insert(const ProcPtr& p, const ListAddr& addr, int gap,
+             std::vector<StmtPtr> stmts, const std::string& action)
+{
+    EditBatch b(p);
+    b.insert(addr, gap, std::move(stmts));
+    return b.commit(action);
+}
+
+ProcPtr
+apply_erase(const ProcPtr& p, const ListAddr& addr, int lo, int hi,
+            const std::string& action)
+{
+    EditBatch b(p);
+    b.erase(addr, lo, hi);
+    return b.commit(action);
+}
+
+ProcPtr
+apply_replace_range(const ProcPtr& p, const ListAddr& addr, int lo, int hi,
+                    std::vector<StmtPtr> repl, const std::string& action)
+{
+    EditBatch b(p);
+    b.replace_range(addr, lo, hi, std::move(repl));
+    return b.commit(action);
 }
 
 ProcPtr
@@ -422,32 +539,21 @@ ProcPtr
 apply_replace_stmt_same_shape(const ProcPtr& p, const Path& path,
                               StmtPtr repl, const std::string& action)
 {
-    // No-op edit: the replacement IS the current statement (common with
-    // hash-consed subtrees). Skip the spine rebuild and the provenance
-    // hop entirely; existing cursors stay valid as-is.
-    NodeRef cur = node_at(p, path);
-    if (std::holds_alternative<StmtPtr>(cur) &&
-        std::get<StmtPtr>(cur) == repl) {
-        return p;
-    }
-    return p->with_body(rebuild_node(p, path, NodeRef(std::move(repl))),
-                        fwd_identity(), action);
+    // No-op edits (the replacement IS the current statement, common
+    // with hash-consed subtrees) stage nothing and commit to `p`
+    // itself: no spine rebuild, no provenance hop, cursors stay valid.
+    EditBatch b(p);
+    b.replace_stmt_same_shape(path, std::move(repl));
+    return b.commit(action);
 }
 
 ProcPtr
 apply_replace_expr(const ProcPtr& p, const Path& path, ExprPtr repl,
                    const std::string& action)
 {
-    // Interning makes no-op expression rewrites pointer-identical;
-    // returning `p` avoids both the rebuild and needlessly
-    // invalidating cursors below `path`.
-    NodeRef cur = node_at(p, path);
-    if (std::holds_alternative<ExprPtr>(cur) &&
-        std::get<ExprPtr>(cur) == repl) {
-        return p;
-    }
-    return p->with_body(rebuild_node(p, path, NodeRef(std::move(repl))),
-                        fwd_invalidate_below(path), action);
+    EditBatch b(p);
+    b.replace_expr(path, std::move(repl));
+    return b.commit(action);
 }
 
 ProcPtr
@@ -455,16 +561,9 @@ apply_wrap(const ProcPtr& p, const ListAddr& addr, int lo, int hi,
            const std::function<StmtPtr(std::vector<StmtPtr>)>& wrap,
            const std::string& action)
 {
-    const auto& list = stmt_list_at(p, addr);
-    if (lo < 0 || hi > static_cast<int>(list.size()) || lo >= hi)
-        throw InvalidCursorError("wrap range out of bounds");
-    std::vector<StmtPtr> inner(list.begin() + lo, list.begin() + hi);
-    StmtPtr wrapper = wrap(std::move(inner));
-    std::vector<StmtPtr> nl(list.begin(), list.begin() + lo);
-    nl.push_back(std::move(wrapper));
-    nl.insert(nl.end(), list.begin() + hi, list.end());
-    return p->with_body(rebuild_list(p, addr, std::move(nl)),
-                        fwd_wrap(addr, lo, hi), action);
+    EditBatch b(p);
+    b.wrap(addr, lo, hi, wrap);
+    return b.commit(action);
 }
 
 ProcPtr

@@ -112,6 +112,53 @@ ProcPtr apply_move(const ProcPtr& p, const ListAddr& src, int lo, int hi,
                    const ListAddr& dst, int dst_gap,
                    const std::string& action);
 
+/**
+ * A batch of edits committed as ONE derived proc version.
+ *
+ * Primitives that decompose into several atomic edits (insert + expr
+ * rewrite, wrap + wrap, ...) used to emit one provenance hop per edit;
+ * a schedule of n such primitives then costs every later forward k·n
+ * hops. An EditBatch stages the edits against a scratch body — each
+ * edit is expressed in the coordinates AFTER the previous ones, exactly
+ * as with chained apply_* calls — and `commit` derives a single new
+ * version whose forwarding entry is the composition of the staged
+ * edits' forwarding functions: one provenance hop, one spine in the
+ * chain, regardless of how many edits the primitive needed.
+ */
+class EditBatch
+{
+  public:
+    explicit EditBatch(ProcPtr p);
+
+    /** The staged state: resolve paths/lists for the NEXT edit here. */
+    const ProcPtr& staged() const { return work_; }
+
+    /** Forward a location of the base proc through the staged edits. */
+    std::optional<CursorLoc> forward(const CursorLoc& loc) const;
+
+    void insert(const ListAddr& addr, int gap, std::vector<StmtPtr> stmts);
+    void erase(const ListAddr& addr, int lo, int hi);
+    void replace_range(const ListAddr& addr, int lo, int hi,
+                       std::vector<StmtPtr> repl);
+    /** Same-shape stmt replacement (identity forwarding). */
+    void replace_stmt_same_shape(const Path& path, StmtPtr repl);
+    /** Expression replacement (invalidates below `path`). */
+    void replace_expr(const Path& path, ExprPtr repl);
+    void wrap(const ListAddr& addr, int lo, int hi,
+              const std::function<StmtPtr(std::vector<StmtPtr>)>& wrap_fn);
+
+    /** Derive the new version; no-op batches return the base proc. */
+    ProcPtr commit(const std::string& action);
+
+  private:
+    /** Adopt a rebuilt body + its forwarding fn as the staged state. */
+    void stage(std::vector<StmtPtr> body, ForwardFn fwd);
+
+    ProcPtr base_;
+    ProcPtr work_;
+    std::vector<ForwardFn> fwds_;
+};
+
 }  // namespace exo2
 
 #endif  // EXO2_CURSOR_EDITS_H_

@@ -1,10 +1,14 @@
 #include "src/cursor/pattern.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <unordered_map>
 
+#include "src/cursor/accel.h"
 #include "src/frontend/parser.h"
 #include "src/ir/errors.h"
+#include "src/ir/interner.h"
 
 namespace exo2 {
 
@@ -148,15 +152,145 @@ pattern_match_stmt(const StmtPtr& pat, const StmtPtr& s)
 
 namespace {
 
-/** Pre-order walk of all statements under a block, collecting matches. */
+// ---- Subtree pattern index (DESIGN.md §3) -------------------------------
+//
+// Every statement subtree gets a memoized summary of the (statement
+// kind, binder name) keys occurring in it. A pattern with a concrete
+// kind/name can then prune whole subtrees whose summary cannot contain
+// a match, turning full-tree searches into walks of the few spines that
+// lead to candidates. Summaries are keyed on `Stmt*` identity: the IR
+// is immutable and spine-rebuilding edits share untouched subtrees, so
+// consecutive proc versions reuse all unchanged entries — the index is
+// maintained incrementally across edits for free.
+
+/** Key-relevant name of a statement: what a concrete-name pattern of
+ *  the same kind must equal for `pattern_match_stmt` to succeed. */
+const std::string&
+stmt_key_name(const Stmt& s)
+{
+    switch (s.kind()) {
+      case StmtKind::For:
+        return s.iter();
+      case StmtKind::Call:
+        return s.callee() ? s.callee()->name() : s.name();
+      default:
+        return s.name();  // empty for If/Pass: no name key
+    }
+}
+
+uint64_t
+stmt_key(StmtKind kind, const std::string& name)
+{
+    return hash_combine(hash_mix(static_cast<uint64_t>(kind) + 1),
+                        hash_str(name));
+}
+
+struct SubtreeSummary
+{
+    /** Bitmask over StmtKind of kinds present in the subtree. */
+    uint16_t kind_mask = 0;
+    /** 64-bit bloom of the key hashes: one bit per key (`1 << (k&63)`).
+     *  A clear bit proves absence without touching `keys`. */
+    uint64_t key_bloom = 0;
+    /** Sorted unique (kind, name) key hashes present in the subtree. */
+    std::vector<uint64_t> keys;
+};
+
+/**
+ * Memoized in the statement's inline `pattern_memo()` slot (ir/stmt.h):
+ * probing costs a pointer dereference, and spine-sharing edits reuse
+ * every untouched subtree's summary with no global table. The returned
+ * pointer stays valid while the statement lives — the slot owns it.
+ */
+const SubtreeSummary*
+subtree_summary(const StmtPtr& s)
+{
+    if (s->pattern_memo().epoch == cursor_accel_epoch())
+        accel_internal::g_stats.index_hits++;
+    else
+        accel_internal::g_stats.index_misses++;
+    return probe_subtree_memo<SubtreeSummary>(s->pattern_memo(), [&] {
+        auto sum = std::make_shared<SubtreeSummary>();
+        sum->kind_mask = static_cast<uint16_t>(
+            1u << static_cast<unsigned>(s->kind()));
+        std::vector<uint64_t> keys{stmt_key(s->kind(), stmt_key_name(*s))};
+        auto merge = [&](const std::vector<StmtPtr>& block) {
+            for (const StmtPtr& ch : block) {
+                const SubtreeSummary* cs = subtree_summary(ch);
+                sum->kind_mask |= cs->kind_mask;
+                sum->key_bloom |= cs->key_bloom;
+                keys.insert(keys.end(), cs->keys.begin(), cs->keys.end());
+            }
+        };
+        merge(s->body());
+        merge(s->orelse());
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        for (uint64_t k : keys)
+            sum->key_bloom |= uint64_t(1) << (k & 63);
+        sum->keys = std::move(keys);
+        return std::shared_ptr<const SubtreeSummary>(std::move(sum));
+    });
+}
+
+/** The index-probe form of a parsed pattern. */
+struct PatQuery
+{
+    uint16_t kind_bit = 0;
+    bool has_name = false;
+    uint64_t key = 0;
+};
+
+PatQuery
+query_of(const StmtPtr& pat)
+{
+    PatQuery q;
+    q.kind_bit =
+        static_cast<uint16_t>(1u << static_cast<unsigned>(pat->kind()));
+    const std::string& name = stmt_key_name(*pat);
+    if (!name.empty() && !is_wildcard_name(name)) {
+        q.has_name = true;
+        q.key = stmt_key(pat->kind(), name);
+    }
+    return q;
+}
+
+/** May the subtree rooted at `s` contain a statement matching `q`?
+ *  A `false` answer is exact pruning: `pattern_match_stmt` requires a
+ *  kind match and (for concrete-name patterns) a key-name match, and
+ *  the summary over-approximates both for the whole subtree. */
+bool
+may_contain(const StmtPtr& s, const PatQuery& q)
+{
+    if (!pattern_index_enabled())
+        return true;
+    const SubtreeSummary* sum = subtree_summary(s);
+    if (!(sum->kind_mask & q.kind_bit)) {
+        accel_internal::g_stats.index_pruned++;
+        return false;
+    }
+    if (q.has_name &&
+        (!(sum->key_bloom & (uint64_t(1) << (q.key & 63))) ||
+         !std::binary_search(sum->keys.begin(), sum->keys.end(), q.key))) {
+        accel_internal::g_stats.index_pruned++;
+        return false;
+    }
+    return true;
+}
+
+/** Pre-order walk of all statements under a block, collecting matches;
+ *  subtrees that cannot contain a match are skipped wholesale. */
 void
 walk_block(const ProcPtr& p, const std::vector<StmtPtr>& block, Path path,
-           PathLabel label, const StmtPtr& pat, std::vector<Cursor>* out)
+           PathLabel label, const StmtPtr& pat, const PatQuery& q,
+           std::vector<Cursor>* out)
 {
     for (size_t i = 0; i < block.size(); i++) {
+        const StmtPtr& s = block[i];
+        if (!may_contain(s, q))
+            continue;
         Path here = path;
         here.push_back({label, static_cast<int>(i)});
-        const StmtPtr& s = block[i];
         if (pattern_match_stmt(pat, s)) {
             CursorLoc l;
             l.kind = CursorKind::Node;
@@ -164,9 +298,9 @@ walk_block(const ProcPtr& p, const std::vector<StmtPtr>& block, Path path,
             out->push_back(Cursor(p, std::move(l)));
         }
         if (!s->body().empty())
-            walk_block(p, s->body(), here, PathLabel::Body, pat, out);
+            walk_block(p, s->body(), here, PathLabel::Body, pat, q, out);
         if (!s->orelse().empty())
-            walk_block(p, s->orelse(), here, PathLabel::Orelse, pat, out);
+            walk_block(p, s->orelse(), here, PathLabel::Orelse, pat, q, out);
     }
 }
 
@@ -186,8 +320,9 @@ std::vector<Cursor>
 find_matching(const ProcPtr& p, const Path& prefix, const StmtPtr& pat)
 {
     std::vector<Cursor> out;
+    PatQuery q = query_of(pat);
     if (prefix.empty()) {
-        walk_block(p, p->body_stmts(), {}, PathLabel::Body, pat, &out);
+        walk_block(p, p->body_stmts(), {}, PathLabel::Body, pat, q, &out);
         return out;
     }
     // Search the subtree rooted at `prefix` (including the root stmt).
@@ -200,9 +335,10 @@ find_matching(const ProcPtr& p, const Path& prefix, const StmtPtr& pat)
     }
     Path parent = prefix;
     if (!root->body().empty())
-        walk_block(p, root->body(), parent, PathLabel::Body, pat, &out);
+        walk_block(p, root->body(), parent, PathLabel::Body, pat, q, &out);
     if (!root->orelse().empty())
-        walk_block(p, root->orelse(), parent, PathLabel::Orelse, pat, &out);
+        walk_block(p, root->orelse(), parent, PathLabel::Orelse, pat, q,
+                   &out);
     return out;
 }
 

@@ -46,6 +46,7 @@ Proc::with_body(std::vector<StmtPtr> body, ForwardFn fwd,
     auto p = std::shared_ptr<Proc>(new Proc(*this));
     p->body_ = std::move(body);
     p->uid_ = next_uid();
+    p->gen_ = gen_ + 1;
     auto prov = std::make_shared<Provenance>();
     prov->parent = shared_from_this();
     prov->fwd = std::move(fwd);
@@ -64,6 +65,7 @@ Proc::with_signature(std::vector<ProcArg> args, std::vector<ExprPtr> preds,
     p->preds_ = std::move(preds);
     p->body_ = std::move(body);
     p->uid_ = next_uid();
+    p->gen_ = gen_ + 1;
     auto prov = std::make_shared<Provenance>();
     prov->parent = shared_from_this();
     prov->fwd = std::move(fwd);
@@ -81,6 +83,7 @@ Proc::renamed(std::string new_name) const
     auto p = std::shared_ptr<Proc>(new Proc(*this));
     p->name_ = std::move(new_name);
     p->uid_ = next_uid();
+    p->gen_ = gen_ + 1;
     auto prov = std::make_shared<Provenance>();
     prov->parent = shared_from_this();
     prov->fwd = identity;
@@ -98,6 +101,7 @@ Proc::with_assertion(ExprPtr pred) const
     auto p = std::shared_ptr<Proc>(new Proc(*this));
     p->preds_.push_back(std::move(pred));
     p->uid_ = next_uid();
+    p->gen_ = gen_ + 1;
     auto prov = std::make_shared<Provenance>();
     prov->parent = shared_from_this();
     prov->fwd = identity;

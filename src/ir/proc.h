@@ -79,6 +79,15 @@ class Proc : public std::enable_shared_from_this<Proc>
     /** Uid of the original proc this one was scheduled from. */
     uint64_t root_uid() const { return root_uid_; }
 
+    /**
+     * Monotone generation stamp: 0 for a freshly made proc, parent's
+     * generation + 1 for every derived version. Strictly increasing
+     * along any provenance chain, so `a.generation() < b.generation()`
+     * is necessary for `a` to be an ancestor of `b` — forwarding uses
+     * it to stop chain walks early instead of running to the root.
+     */
+    uint64_t generation() const { return gen_; }
+
     const std::shared_ptr<const Provenance>& provenance() const
     {
         return provenance_;
@@ -154,6 +163,7 @@ class Proc : public std::enable_shared_from_this<Proc>
     std::optional<InstrInfo> instr_;
     uint64_t uid_ = 0;
     uint64_t root_uid_ = 0;
+    uint64_t gen_ = 0;
     std::shared_ptr<const Provenance> provenance_;
 };
 

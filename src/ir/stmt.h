@@ -41,6 +41,34 @@ enum class LoopMode : uint8_t {
 };
 
 /**
+ * One inline memo slot for per-subtree summaries (see cursor/accel.h).
+ * Hot scans (pattern search pruning, binder-name probes) read one slot
+ * per visited statement; keeping the cache inside the node makes that a
+ * pointer dereference instead of a global hash-map probe. The IR is
+ * immutable so a filled slot never goes stale; `epoch` implements cache
+ * clearing for the ablation kill switches (a slot is valid only while
+ * its epoch matches `cursor_accel_epoch()`). Single-threaded like the
+ * analysis memo caches (analysis/memo.h).
+ */
+struct SubtreeMemoSlot
+{
+    SubtreeMemoSlot() = default;
+    /** Copies start cold: the `with_*` rebuilders shallow-copy the
+     *  node and then change children, so an inherited (or retained)
+     *  summary would describe the wrong subtree. */
+    SubtreeMemoSlot(const SubtreeMemoSlot&) {}
+    SubtreeMemoSlot& operator=(const SubtreeMemoSlot&)
+    {
+        epoch = 0;
+        data.reset();
+        return *this;
+    }
+
+    mutable uint64_t epoch = 0;  ///< 0 = never filled
+    mutable std::shared_ptr<const void> data;
+};
+
+/**
  * An immutable statement node. Like Expr, a single tagged class: the
  * uniform child-access interface is what paths and forwarding traverse.
  */
@@ -48,6 +76,12 @@ class Stmt
 {
   public:
     StmtKind kind() const { return kind_; }
+
+    /** Memo slot of the pattern subtree index (cursor/pattern.cc). */
+    const SubtreeMemoSlot& pattern_memo() const { return pattern_memo_; }
+
+    /** Memo slot of the binder-name summary (primitives/common.cc). */
+    const SubtreeMemoSlot& names_memo() const { return names_memo_; }
 
     /** Cached 64-bit structural hash: `stmt_equal(a, b)` implies equal
      *  hashes, so a hash mismatch rejects equality in O(1). Computed
@@ -148,6 +182,8 @@ class Stmt
     void rehash();
 
     uint64_t hash_ = 0;
+    SubtreeMemoSlot pattern_memo_;
+    SubtreeMemoSlot names_memo_;
     StmtKind kind_ = StmtKind::Pass;
     std::string name_;
     std::string field_;

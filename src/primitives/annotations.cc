@@ -142,11 +142,15 @@ bind_config(const ProcPtr& p, const Cursor& e, const std::string& cfg,
     int pos = 0;
     ListAddr addr = list_addr_of(stmt_path, &pos);
     StmtPtr wc = Stmt::make_write_config(cfg, field, expr);
-    ProcPtr p2 = apply_insert(p, addr, pos, {wc}, "bind_config(insert)");
-    Cursor ec2 = p2->forward(ec);
-    require(ec2.is_valid(), "bind_config: expression lost");
+    // One batched version: insert + expression rewrite, one provenance
+    // hop (the config write's forwarding composed with the rewrite's).
+    EditBatch batch(p);
+    batch.insert(addr, pos, {wc});
+    std::optional<CursorLoc> ec2 = batch.forward(ec.loc());
+    require(ec2.has_value(), "bind_config: expression lost");
     ExprPtr rd = Expr::make_read_config(cfg, field, expr->type());
-    return apply_replace_expr(p2, ec2.loc().path, rd, "bind_config");
+    batch.replace_expr(ec2->path, rd);
+    return batch.commit("bind_config");
 }
 
 ProcPtr

@@ -555,20 +555,23 @@ bind_expr(const ProcPtr& p, const Cursor& e, const std::string& new_name,
         Stmt::make_alloc(new_name, expr->type(), {}, mem_dram());
     StmtPtr assign_stmt =
         Stmt::make_assign(new_name, {}, expr, expr->type());
-    ProcPtr p2 = apply_insert(p, addr, pos, {alloc_stmt, assign_stmt},
-                              "bind_expr(insert)");
+    // Batched: the alloc/assign insertion and the use rewrite commit as
+    // a single version with one composed forwarding entry.
+    EditBatch batch(p);
+    batch.insert(addr, pos, {alloc_stmt, assign_stmt});
     ExprPtr replacement = Expr::make_read(new_name, {}, expr->type());
     if (!cse) {
-        Cursor ec2 = p2->forward(ec);
-        require(ec2.is_valid(), "bind_expr: expression lost");
-        return apply_replace_expr(p2, ec2.loc().path, replacement,
-                                  "bind_expr");
+        std::optional<CursorLoc> ec2 = batch.forward(ec.loc());
+        require(ec2.has_value(), "bind_expr: expression lost");
+        batch.replace_expr(ec2->path, replacement);
+        return batch.commit("bind_expr");
     }
     // CSE: replace every structurally-equal occurrence in the enclosing
     // statement.
-    Cursor sc2 = p2->forward(Cursor(p, CursorLoc{CursorKind::Node,
-                                                 stmt_path, -1}));
-    StmtPtr target = sc2.stmt();
+    std::optional<CursorLoc> sloc2 =
+        batch.forward(CursorLoc{CursorKind::Node, stmt_path, -1});
+    require(sloc2.has_value(), "bind_expr: statement lost");
+    StmtPtr target = stmt_at(batch.staged(), sloc2->path);
     std::function<ExprPtr(const ExprPtr&)> sub =
         [&](const ExprPtr& cur) -> ExprPtr {
         if (expr_equal(cur, expr))
@@ -616,9 +619,8 @@ bind_expr(const ProcPtr& p, const Cursor& e, const std::string& new_name,
         }
     };
     StmtPtr new_target = sub_stmt(target);
-    return p2->with_body(
-        rebuild_node(p2, sc2.loc().path, NodeRef(new_target)),
-        fwd_identity(), "bind_expr(cse)");
+    batch.replace_stmt_same_shape(sloc2->path, new_target);
+    return batch.commit("bind_expr(cse)");
 }
 
 StageMemResult

@@ -1,9 +1,14 @@
 #include "src/primitives/common.h"
 
+#include <algorithm>
 #include <atomic>
 #include <map>
+#include <memory>
+#include <functional>
 #include <set>
+#include <unordered_map>
 
+#include "src/cursor/accel.h"
 #include "src/ir/builder.h"
 #include "src/ir/errors.h"
 
@@ -63,6 +68,86 @@ collect_names(const StmtPtr& s, std::set<std::string>* out)
         collect_names(c, out);
 }
 
+// Memoized per-subtree binder-name summaries (sorted unique vectors
+// plus a 64-bit bloom), held in each statement's inline `names_memo()`
+// slot like the pattern index (DESIGN.md §3): spine-sharing edits reuse
+// all untouched subtrees' summaries, so `ensure_unused` / `fresh_in`
+// probe instead of re-collecting every name in the proc on every
+// primitive — the dominant cost of long wide schedules. Gated on the
+// pattern-index switch so the no-acceleration ablation measures the
+// original walk.
+
+struct NameSummary
+{
+    uint64_t bloom = 0;  ///< one bit per name hash; clear bit = absent
+    std::vector<std::string> names;  ///< sorted unique binder names
+};
+
+uint64_t
+name_bloom_bit(const std::string& n)
+{
+    return uint64_t(1) << (std::hash<std::string>{}(n) & 63);
+}
+
+const NameSummary*
+binder_names(const StmtPtr& s)
+{
+    return probe_subtree_memo<NameSummary>(s->names_memo(), [&] {
+        auto sum = std::make_shared<NameSummary>();
+        std::vector<std::string> names;
+        switch (s->kind()) {
+          case StmtKind::Alloc:
+          case StmtKind::WindowDecl:
+            names.push_back(s->name());
+            break;
+          case StmtKind::For:
+            names.push_back(s->iter());
+            break;
+          default:
+            break;
+        }
+        auto merge = [&](const std::vector<StmtPtr>& block) {
+            for (const StmtPtr& ch : block) {
+                const NameSummary* cs = binder_names(ch);
+                sum->bloom |= cs->bloom;
+                names.insert(names.end(), cs->names.begin(),
+                             cs->names.end());
+            }
+        };
+        merge(s->body());
+        merge(s->orelse());
+        std::sort(names.begin(), names.end());
+        names.erase(std::unique(names.begin(), names.end()), names.end());
+        for (const auto& n : names)
+            sum->bloom |= name_bloom_bit(n);
+        sum->names = std::move(names);
+        return std::shared_ptr<const NameSummary>(std::move(sum));
+    });
+}
+
+bool
+name_used(const ProcPtr& p, const std::string& name)
+{
+    for (const auto& a : p->args()) {
+        if (a.name == name)
+            return true;
+    }
+    if (pattern_index_enabled()) {
+        uint64_t bit = name_bloom_bit(name);
+        for (const auto& s : p->body_stmts()) {
+            const NameSummary* v = binder_names(s);
+            if ((v->bloom & bit) &&
+                std::binary_search(v->names.begin(), v->names.end(), name))
+                return true;
+        }
+        return false;
+    }
+    std::set<std::string> names;
+    for (const auto& s : p->body_stmts())
+        collect_names(s, &names);
+    return names.count(name) != 0;
+}
+
 }  // namespace
 
 std::vector<std::string>
@@ -79,14 +164,24 @@ used_names(const ProcPtr& p)
 void
 ensure_unused(const ProcPtr& p, const std::string& name)
 {
-    auto names = used_names(p);
-    require(std::find(names.begin(), names.end(), name) == names.end(),
+    require(!name_used(p, name),
             "name '" + name + "' is already used in " + p->name());
 }
 
 std::string
 fresh_in(const ProcPtr& p, const std::string& base)
 {
+    if (pattern_index_enabled()) {
+        if (!name_used(p, base))
+            return base;
+        for (int i = 1;; i++) {
+            std::string cand = base + "_" + std::to_string(i);
+            if (!name_used(p, cand))
+                return cand;
+        }
+    }
+    // Index off (ablation): collect once, then probe the set, instead
+    // of one full tree walk per candidate.
     auto names = used_names(p);
     auto taken = [&](const std::string& n) {
         return std::find(names.begin(), names.end(), n) != names.end();

@@ -113,19 +113,18 @@ parallelize_reduction(const ProcPtr& p, const Cursor& around,
         {Stmt::make_reduce(red->name(), red->idx(),
                            Expr::make_read(acc_name, {var(ri)}, t), t)});
 
-    // 1. Rewrite the reduction in place (same shape).
+    // One batched version: rewrite the reduction in place (same shape),
+    // insert alloc + zero loop before `around` and the reduce loop
+    // after it — a single provenance hop instead of three.
     StmtPtr new_red = Stmt::make_reduce(
         acc_name, {var(lane->iter())}, red->rhs(), t);
-    ProcPtr cur = apply_replace_stmt_same_shape(
-        p, rc.loc().path, new_red, "parallelize_reduction(rewrite)");
-    // 2. Insert alloc + zero loop before `around`, reduce loop after.
+    EditBatch batch(p);
+    batch.replace_stmt_same_shape(rc.loc().path, new_red);
     int pos = 0;
     ListAddr addr = list_addr_of(ac.loc().path, &pos);
-    cur = apply_insert(cur, addr, pos, {alloc, zero_loop},
-                       "parallelize_reduction(pre)");
-    cur = apply_insert(cur, addr, pos + 3, {red_loop},
-                       "parallelize_reduction(post)");
-    return cur;
+    batch.insert(addr, pos, {alloc, zero_loop});
+    batch.insert(addr, pos + 3, {red_loop});
+    return batch.commit("parallelize_reduction");
 }
 
 ProcPtr

@@ -520,23 +520,18 @@ add_loop(const ProcPtr& p, const Cursor& stmt, const std::string& iter,
             "add_loop: loop bound must be positive");
     int pos = 0;
     ListAddr parent = list_addr_of(sc.loc().path, &pos);
-    ProcPtr cur = p;
+    // Batched: guard wrap + loop wrap commit as one version.
+    EditBatch batch(p);
     if (guard) {
-        cur = apply_wrap(cur, parent, pos, pos + 1,
-                         [&](std::vector<StmtPtr> block) {
-                             return Stmt::make_if(
-                                 eq(var(iter), idx_const(0)),
+        batch.wrap(parent, pos, pos + 1, [&](std::vector<StmtPtr> block) {
+            return Stmt::make_if(eq(var(iter), idx_const(0)),
                                  std::move(block));
-                         },
-                         "add_loop(guard)");
+        });
     }
-    cur = apply_wrap(cur, parent, pos, pos + 1,
-                     [&](std::vector<StmtPtr> block) {
-                         return Stmt::make_for(iter, idx_const(0), hi,
-                                               std::move(block));
-                     },
-                     "add_loop");
-    return cur;
+    batch.wrap(parent, pos, pos + 1, [&](std::vector<StmtPtr> block) {
+        return Stmt::make_for(iter, idx_const(0), hi, std::move(block));
+    });
+    return batch.commit("add_loop");
 }
 
 ProcPtr

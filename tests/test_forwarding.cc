@@ -9,7 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+
+#include "src/cursor/accel.h"
+#include "src/cursor/edits.h"
+#include "src/cursor/pattern.h"
 #include "src/frontend/parser.h"
+#include "src/ir/builder.h"
 #include "src/ir/printer.h"
 #include "src/kernels/blas.h"
 #include "src/sched/blas.h"
@@ -123,6 +130,291 @@ TEST_P(ForwardingPipeline, SurvivesLevel1Pipeline)
 INSTANTIATE_TEST_SUITE_P(Kernels, ForwardingPipeline,
                          ::testing::Values("saxpy", "sdot", "scopy",
                                            "srot", "sscal"));
+
+// ---- Invalid-cursor semantics (PR 2 regression tests) -------------------
+
+TEST(Forwarding, InvalidCursorsCompareEqual)
+{
+    // is_valid() is the only observable state of an invalid cursor, so
+    // invalid cursors on different procs (or with no proc at all) must
+    // compare equal, and never equal to a valid cursor.
+    ProcPtr p = parse_proc(kTwoNests);
+    ProcPtr q = parse_proc(kTwoNests);
+    EXPECT_TRUE(Cursor::invalid(p) == Cursor::invalid(q));
+    EXPECT_TRUE(Cursor::invalid(p) == Cursor());
+    Cursor valid = p->find_loop("i");
+    EXPECT_FALSE(valid == Cursor::invalid(p));
+    EXPECT_FALSE(Cursor::invalid(p) == valid);
+}
+
+TEST(Forwarding, InvalidatedCursorAcrossBatchedEdits)
+{
+    // bind_expr commits its insert + expression rewrite as ONE batched
+    // version. A cursor strictly below the rewritten expression is
+    // invalidated by that single hop, stays invalid across later edits,
+    // and compares equal to any other invalid cursor.
+    ProcPtr p = parse_proc(kTwoNests);
+    Cursor rhs = p->find("y[_] = _").rhs();  // x[j] * 2.0
+    CursorLoc operand_loc = rhs.loc();
+    operand_loc.path.push_back({PathLabel::OpLhs, -1});
+    Cursor operand(p, operand_loc);
+
+    ProcPtr p2 = bind_expr(p, rhs, "t0");
+    // Exactly one provenance hop for the whole primitive.
+    ASSERT_TRUE(p2->provenance());
+    EXPECT_EQ(p2->provenance()->parent.get(), p.get());
+    EXPECT_FALSE(p2->forward(operand).is_valid());
+    // The rewritten expression node itself stays addressable.
+    EXPECT_TRUE(p2->forward(rhs).is_valid());
+
+    ProcPtr p3 = divide_loop(p2, "i", 4, {"io", "ii"}, TailStrategy::Cut);
+    Cursor dead = p3->forward(operand);
+    EXPECT_FALSE(dead.is_valid());
+    EXPECT_TRUE(dead == Cursor::invalid(p2));
+    EXPECT_TRUE(dead == p2->forward(operand));
+}
+
+// ---- Randomized equivalence: compression/index vs naive -----------------
+//
+// The accelerated paths (forwarding path compression, subtree pattern
+// index) must be observationally identical to naive provenance replay
+// and full-tree search. We drive hundreds of random edit sequences,
+// collect cursors at every intermediate version, and compare both
+// implementations via the kill switches in cursor/accel.h.
+
+namespace {
+
+/** Deterministic xorshift RNG (seeds the same sequences everywhere). */
+struct Rng
+{
+    uint64_t s;
+    explicit Rng(uint64_t seed) : s(seed ^ 0x9E3779B97F4A7C15ull) {}
+    uint64_t next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+    int below(int n) { return static_cast<int>(next() % uint64_t(n)); }
+};
+
+/** All statement-list addresses of a proc, with their current sizes. */
+void
+collect_lists(const std::vector<StmtPtr>& block, const Path& path,
+              PathLabel label,
+              std::vector<std::pair<ListAddr, int>>* out)
+{
+    out->push_back({ListAddr{path, label},
+                    static_cast<int>(block.size())});
+    for (size_t i = 0; i < block.size(); i++) {
+        Path here = path;
+        here.push_back({label, static_cast<int>(i)});
+        const StmtPtr& s = block[i];
+        if (!s->body().empty())
+            collect_lists(s->body(), here, PathLabel::Body, out);
+        if (!s->orelse().empty())
+            collect_lists(s->orelse(), here, PathLabel::Orelse, out);
+    }
+}
+
+std::vector<std::pair<ListAddr, int>>
+all_lists(const ProcPtr& p)
+{
+    std::vector<std::pair<ListAddr, int>> out;
+    collect_lists(p->body_stmts(), {}, PathLabel::Body, &out);
+    return out;
+}
+
+/** Apply one random atomic edit (possibly a multi-edit batch). */
+ProcPtr
+random_edit(const ProcPtr& p, Rng* rng, int step)
+{
+    auto lists = all_lists(p);
+    auto& [addr, size] = lists[rng->below(static_cast<int>(lists.size()))];
+    std::string uniq = std::to_string(step);
+    switch (rng->below(6)) {
+      case 0:  // insert a Pass at a random gap
+        return apply_insert(p, addr, rng->below(size + 1),
+                            {Stmt::make_pass()}, "rand_insert");
+      case 1: {  // wrap a random range in a fresh loop
+        int lo = rng->below(size);
+        int hi = lo + 1 + rng->below(size - lo);
+        return apply_wrap(p, addr, lo, hi,
+                          [&](std::vector<StmtPtr> block) {
+                              return Stmt::make_for("w" + uniq,
+                                                    idx_const(0),
+                                                    idx_const(2),
+                                                    std::move(block));
+                          },
+                          "rand_wrap");
+      }
+      case 2: {  // erase one statement (keep the list non-empty)
+        if (size < 2)
+            return p;
+        int lo = rng->below(size);
+        return apply_erase(p, addr, lo, lo + 1, "rand_erase");
+      }
+      case 3: {  // replace a range with a Pass
+        int lo = rng->below(size);
+        int hi = lo + 1 + rng->below(size - lo);
+        return apply_replace_range(p, addr, lo, hi, {Stmt::make_pass()},
+                                   "rand_replace");
+      }
+      case 4: {  // move a statement within its list
+        if (size < 2)
+            return p;
+        int lo = rng->below(size);
+        int gap = rng->below(size);  // post-deletion gap in [0, size-1]
+        return apply_move(p, addr, lo, lo + 1, addr, gap, "rand_move");
+      }
+      default: {  // batched: insert + wrap committed as one version
+        EditBatch batch(p);
+        batch.insert(addr, rng->below(size + 1), {Stmt::make_pass()});
+        batch.wrap(addr, 0, 1, [&](std::vector<StmtPtr> block) {
+            return Stmt::make_for("b" + uniq, idx_const(0), idx_const(2),
+                                  std::move(block));
+        });
+        return batch.commit("rand_batch");
+      }
+    }
+}
+
+/** Random cursors on `p`: nodes, gaps, and blocks at random lists. */
+std::vector<Cursor>
+random_cursors(const ProcPtr& p, Rng* rng, int count)
+{
+    auto lists = all_lists(p);
+    std::vector<Cursor> out;
+    for (int k = 0; k < count; k++) {
+        auto& [addr, size] = lists[rng->below(static_cast<int>(lists.size()))];
+        CursorLoc l;
+        l.path = addr.parent;
+        switch (rng->below(3)) {
+          case 0: {
+            l.kind = CursorKind::Node;
+            l.path.push_back({addr.label, rng->below(size)});
+            break;
+          }
+          case 1: {
+            l.kind = CursorKind::Gap;
+            l.path.push_back({addr.label, rng->below(size + 1)});
+            break;
+          }
+          default: {
+            l.kind = CursorKind::Block;
+            int lo = rng->below(size);
+            l.hi = lo + 1 + rng->below(size - lo);
+            l.path.push_back({addr.label, lo});
+            break;
+          }
+        }
+        out.push_back(Cursor(p, std::move(l)));
+    }
+    return out;
+}
+
+}  // namespace
+
+TEST(Forwarding, RandomizedCompressionMatchesNaiveReplay)
+{
+    const char* kBase = R"(
+def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 1.0
+        y[i] = x[i] * 2.0
+    for j in seq(0, n):
+        if j < 4:
+            y[j] = 0.0
+    for k in seq(0, n):
+        x[k] = y[k]
+)";
+    ProcPtr base = parse_proc(kBase);
+    Rng rng(20260728);
+    int checked = 0;
+    for (int seq = 0; seq < 500; seq++) {
+        ProcPtr cur = base;
+        std::vector<Cursor> cursors;
+        int len = 3 + rng.below(6);
+        ProcPtr mid;
+        size_t midcount = 0;
+        for (int step = 0; step < len; step++) {
+            for (auto& c : random_cursors(cur, &rng, 2))
+                cursors.push_back(std::move(c));
+            cur = random_edit(cur, &rng, seq * 100 + step);
+            if (step == len / 2) {
+                mid = cur;  // checkpoint: warms intermediate-hit paths
+                midcount = cursors.size();
+            }
+        }
+        // Forward everything with compression on FIRST (the second
+        // forward of each cursor hits the warm cache — the production
+        // path), then everything naively, then compare. Toggling per
+        // cursor would clear the cache between comparisons and leave
+        // the memo-hit branch untested.
+        std::vector<Cursor> fast;
+        set_forwarding_compression_enabled(true);
+        // Warm the checkpoint version first: forwarding to `cur` then
+        // stops its chain walk at `mid`'s cached entries (the
+        // hit-at-intermediate-ancestor branch).
+        for (size_t i = 0; i < midcount; i++)
+            (void)mid->forward(cursors[i]);
+        for (const Cursor& c : cursors) {
+            Cursor cold = cur->forward(c);
+            Cursor warm = cur->forward(c);  // cache hit at the target
+            ASSERT_TRUE(cold == warm)
+                << "warm forward differs from cold at sequence " << seq;
+            fast.push_back(std::move(warm));
+        }
+        set_forwarding_compression_enabled(false);
+        for (size_t i = 0; i < cursors.size(); i++) {
+            Cursor naive = cur->forward(cursors[i]);
+            ASSERT_TRUE(fast[i] == naive)
+                << "forwarding mismatch at sequence " << seq;
+            checked++;
+        }
+        set_forwarding_compression_enabled(true);
+    }
+    EXPECT_GE(checked, 3000);  // >= 500 sequences x >= 3 steps x 2 cursors
+}
+
+TEST(Forwarding, RandomizedIndexedFindMatchesFullSearch)
+{
+    const char* kBase = R"(
+def g(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 1.0
+    for j in seq(0, n):
+        y[j] = x[j] * 2.0
+    t: f32[4] @ DRAM
+    for k in seq(0, 4):
+        t[k] = 0.0
+)";
+    ProcPtr base = parse_proc(kBase);
+    Rng rng(4104);
+    const char* patterns[] = {"for _ in _: _", "x[_] = _", "y[_] = _",
+                              "t: _",          "for j in _: _",
+                              "for w7 in _: _"};
+    for (int seq = 0; seq < 500; seq++) {
+        ProcPtr cur = base;
+        int len = 2 + rng.below(7);
+        for (int step = 0; step < len; step++)
+            cur = random_edit(cur, &rng, seq * 100 + step);
+        for (const char* pat : patterns) {
+            set_pattern_index_enabled(true);
+            auto indexed = cur->find_all(pat);
+            set_pattern_index_enabled(false);
+            auto full = cur->find_all(pat);
+            set_pattern_index_enabled(true);
+            ASSERT_EQ(indexed.size(), full.size())
+                << "match count differs for '" << pat << "' at " << seq;
+            for (size_t i = 0; i < indexed.size(); i++) {
+                ASSERT_TRUE(indexed[i] == full[i])
+                    << "match " << i << " differs for '" << pat << "'";
+            }
+        }
+    }
+}
 
 }  // namespace
 }  // namespace exo2
