@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Differential-verification gate: build the tri-oracle test binary under
+# ASan+UBSan and run the schedule fuzzer with a fixed (larger) seed
+# budget. Wired as the opt-in `verify_fuzz` ctest when
+# EXO2_ENABLE_VERIFY_FUZZ=ON; also runnable standalone:
+#
+#   scripts/check_verify.sh [seeds-per-kernel]
+#
+# Exit code 0 means: zero divergences across the budget, no sanitizer
+# findings. Any fuzz failure prints a reproducible (kernel, seed,
+# minimized step chain) triple — see DESIGN.md §4 for how to replay it.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+seeds="${1:-120}"
+build_dir="${EXO2_VERIFY_BUILD_DIR:-$repo_root/build-asan}"
+
+mkdir -p "$build_dir"
+cmake -S "$repo_root" -B "$build_dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DEXO2_BUILD_BENCH=OFF \
+    -DEXO2_BUILD_EXAMPLES=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+    > "$build_dir/configure.log" 2>&1 || {
+        cat "$build_dir/configure.log"; exit 1; }
+cmake --build "$build_dir" --target test_verify -j "$(nproc)"
+
+# dlopen'd JIT kernels are plain (uninstrumented) C; tell ASan not to
+# complain about the unknown module and keep ODR checking strict.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+export EXO2_VERIFY_FUZZ_SEEDS="$seeds"
+exec "$build_dir/test_verify"

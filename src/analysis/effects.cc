@@ -555,6 +555,26 @@ bool
 stmts_commute(const Context& ctx, const StmtPtr& s1, const StmtPtr& s2,
               std::string* why)
 {
+    // Binder motion is a scoping question the access analysis cannot
+    // see: an Alloc/WindowDecl has no data effects, but swapping it
+    // past a statement that uses (or shadows a use of) the bound name
+    // changes what that name refers to.
+    auto binds = [](const StmtPtr& s) {
+        return s->kind() == StmtKind::Alloc ||
+               s->kind() == StmtKind::WindowDecl;
+    };
+    if (binds(s1) && stmt_uses(s2, s1->name())) {
+        if (why)
+            *why = "'" + s1->name() + "' is declared by the first "
+                   "statement and used by the second";
+        return false;
+    }
+    if (binds(s2) && stmt_uses(s1, s2->name())) {
+        if (why)
+            *why = "'" + s2->name() + "' is used by the first statement "
+                   "and re-declared by the second";
+        return false;
+    }
     auto a1 = collect_accesses(s1);
     auto a2 = collect_accesses(s2);
     for (const auto& a : a1) {

@@ -1,7 +1,12 @@
 #include "src/codegen/c_codegen.h"
 
+#include <cmath>
+#include <cstdio>
+#include <functional>
 #include <map>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include "src/ir/errors.h"
 #include "src/ir/printer.h"
@@ -16,8 +21,40 @@ struct BufInfo
     std::vector<ExprPtr> dims;
     ScalarType type = ScalarType::F32;
     MemoryPtr mem;
-    bool is_window = false;  ///< passed as pointer with stride args
+    /** Accesses linearize through explicit stride spellings (window
+     *  args and window declarations) instead of dense row-major. */
+    bool strided = false;
+    std::vector<std::string> strides;  ///< per-dim spelling when strided
 };
+
+/** Render a floating literal so it round-trips exactly through C. */
+std::string
+float_literal(double v, ScalarType t)
+{
+    // %g renders non-finite values as bare `inf`/`nan`, which are not
+    // C identifiers; spell them through builtins.
+    if (std::isinf(v)) {
+        std::string inf = t == ScalarType::F32 ? "__builtin_inff()"
+                                               : "__builtin_inf()";
+        return v < 0 ? "(-" + inf + ")" : inf;
+    }
+    if (std::isnan(v)) {
+        return t == ScalarType::F32 ? "__builtin_nanf(\"\")"
+                                    : "__builtin_nan(\"\")";
+    }
+    char buf[64];
+    // float round-trips at 9 significant digits, double at 17.
+    std::snprintf(buf, sizeof(buf), t == ScalarType::F32 ? "%.9g" : "%.17g",
+                  v);
+    std::string s = buf;
+    if (s.find('.') == std::string::npos &&
+        s.find('e') == std::string::npos) {
+        s += ".0";
+    }
+    if (t == ScalarType::F32)
+        s += "f";
+    return s;
+}
 
 class CGen
 {
@@ -28,10 +65,12 @@ class CGen
     {
         emit_signature();
         indent_ = 1;
+        push_scope();
         for (const auto& pred : proc_->preds())
             line("/* assert " + print_expr(pred) + " */");
         for (const auto& s : proc_->body_stmts())
             stmt(s);
+        pop_scope();
         indent_ = 0;
         line("}");
         return out_.str();
@@ -45,6 +84,49 @@ class CGen
         out_ << s << "\n";
     }
 
+    // -- Name scoping ------------------------------------------------------
+    //
+    // The object language scopes an Alloc/WindowDecl to the rest of its
+    // enclosing block; C scopes match because For/If bodies emit braces.
+    // The one mismatch is duplicate declarations in a single block
+    // (unroll_loop copies its body, Allocs included), which C rejects —
+    // those get uniquified here, with reads resolved through the scope
+    // stack.
+
+    void push_scope() { scopes_.emplace_back(); }
+
+    void pop_scope()
+    {
+        for (const auto& [src, cname] : scopes_.back()) {
+            (void)src;
+            bufs_.erase(cname);
+        }
+        scopes_.pop_back();
+    }
+
+    /** C spelling of source name `name` under the current scopes. */
+    std::string resolve(const std::string& name) const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto f = it->find(name);
+            if (f != it->end())
+                return f->second;
+        }
+        return name;
+    }
+
+    /** Bind `name` in the current scope, uniquifying if taken. */
+    std::string declare(const std::string& name)
+    {
+        std::string cname = name;
+        int k = 2;
+        while (cnames_.count(cname))
+            cname = name + "_" + std::to_string(k++);
+        cnames_.insert(cname);
+        scopes_.back()[name] = cname;
+        return cname;
+    }
+
     void emit_signature()
     {
         std::ostringstream sig;
@@ -54,40 +136,65 @@ class CGen
             if (!first)
                 sig << ", ";
             first = false;
-            if (a.dims.empty()) {
-                sig << type_c_name(a.type) << " " << a.name;
-            } else {
-                sig << type_c_name(a.type) << "* " << a.name;
-            }
             BufInfo info;
             info.dims = a.dims;
             info.type = a.type;
             info.mem = a.mem;
-            info.is_window = a.is_window;
+            if (a.dims.empty()) {
+                sig << type_c_name(a.type) << " " << a.name;
+            } else {
+                sig << type_c_name(a.type) << "* " << a.name;
+                if (a.is_window) {
+                    // Window args carry explicit strides: the caller's
+                    // window may be a non-contiguous slice.
+                    info.strided = true;
+                    for (size_t d = 0; d < a.dims.size(); d++) {
+                        std::string s =
+                            a.name + "_exo2_s" + std::to_string(d);
+                        sig << ", int64_t " << s;
+                        info.strides.push_back(s);
+                    }
+                }
+            }
+            cnames_.insert(a.name);
             bufs_[a.name] = info;
         }
         sig << ") {";
         out_ << sig.str() << "\n";
     }
 
-    /** Row-major flat index expression. */
-    std::string flat_index(const std::string& name,
+    /** Stride spelling of `b`'s dim `d`; "" means (dense) stride 1. */
+    std::string stride_spelling(const BufInfo& b, size_t d)
+    {
+        if (b.strided)
+            return b.strides.at(d);
+        std::string out;
+        for (size_t k = d + 1; k < b.dims.size(); k++) {
+            std::string piece = "(" + expr(b.dims[k]) + ")";
+            out = out.empty() ? piece : out + " * " + piece;
+        }
+        return out;
+    }
+
+    /** Flat index expression; `cname` is the resolved C name. */
+    std::string flat_index(const std::string& cname,
                            const std::vector<ExprPtr>& idx)
     {
-        auto it = bufs_.find(name);
+        auto it = bufs_.find(cname);
         if (it == bufs_.end())
-            throw InternalError("codegen: unknown buffer " + name);
+            throw InternalError("codegen: unknown buffer " + cname);
         const BufInfo& b = it->second;
         if (idx.size() != b.dims.size()) {
             throw SchedulingError(
                 "codegen backend check: access arity mismatch on '" +
-                name + "'");
+                cname + "'");
         }
         std::string out;
         for (size_t d = 0; d < idx.size(); d++) {
             std::string term = "(" + expr(idx[d]) + ")";
-            for (size_t k = d + 1; k < b.dims.size(); k++)
-                term += " * (" + expr(b.dims[k]) + ")";
+            std::string stride = stride_spelling(b, d);
+            if (!stride.empty() && stride != "1")
+                term += " * " + stride;
             out = out.empty() ? term : out + " + " + term;
         }
         return out.empty() ? "0" : out;
@@ -96,36 +203,41 @@ class CGen
     std::string access(const std::string& name,
                        const std::vector<ExprPtr>& idx)
     {
-        auto it = bufs_.find(name);
+        std::string cname = resolve(name);
+        auto it = bufs_.find(cname);
         if (it != bufs_.end() && !it->second.dims.empty())
-            return name + "[" + flat_index(name, idx) + "]";
-        return name;  // scalar
+            return cname + "[" + flat_index(cname, idx) + "]";
+        return cname;  // scalar
     }
 
     std::string expr(const ExprPtr& e)
     {
         switch (e->kind()) {
           case ExprKind::Const: {
-            std::ostringstream os;
             if (e->type() == ScalarType::Index ||
-                is_integer(e->type())) {
+                e->type() == ScalarType::Bool || is_integer(e->type())) {
+                std::ostringstream os;
                 os << static_cast<int64_t>(e->const_value());
-            } else {
-                os << e->const_value();
-                if (os.str().find('.') == std::string::npos &&
-                    os.str().find('e') == std::string::npos) {
-                    os << ".0";
-                }
-                if (e->type() == ScalarType::F32)
-                    os << "f";
+                return os.str();
             }
-            return os.str();
+            return float_literal(e->const_value(), e->type());
           }
           case ExprKind::Read:
             if (e->idx().empty())
-                return e->name();
+                return resolve(e->name());
             return access(e->name(), e->idx());
           case ExprKind::BinOp: {
+            // Index-typed / and % are floor semantics in the object
+            // language (matching simplify.cc's [0, c) remainder
+            // normalization and the interpreter); C's operators
+            // truncate toward zero, so lower through helpers.
+            if (e->type() == ScalarType::Index &&
+                (e->op() == BinOpKind::Div || e->op() == BinOpKind::Mod)) {
+                const char* fn =
+                    e->op() == BinOpKind::Div ? "exo2_fdiv" : "exo2_fmod";
+                return std::string(fn) + "(" + expr(e->lhs()) + ", " +
+                       expr(e->rhs()) + ")";
+            }
             std::string l = expr(e->lhs());
             std::string r = expr(e->rhs());
             std::string op = binop_name(e->op());
@@ -142,20 +254,17 @@ class CGen
             std::vector<ExprPtr> idx;
             for (const auto& d : e->window_dims())
                 idx.push_back(d.lo);
-            return "&" + e->name() + "[" + flat_index(e->name(), idx) +
-                   "]";
+            std::string cname = resolve(e->name());
+            return "&" + cname + "[" + flat_index(cname, idx) + "]";
           }
           case ExprKind::Stride: {
-            auto it = bufs_.find(e->name());
+            std::string cname = resolve(e->name());
+            auto it = bufs_.find(cname);
             if (it == bufs_.end())
                 throw InternalError("codegen: stride of unknown buffer");
-            const BufInfo& b = it->second;
-            std::string out = "1";
-            for (size_t k = static_cast<size_t>(e->stride_dim()) + 1;
-                 k < b.dims.size(); k++) {
-                out += " * (" + expr(b.dims[k]) + ")";
-            }
-            return out;
+            std::string s = stride_spelling(
+                it->second, static_cast<size_t>(e->stride_dim()));
+            return s.empty() ? "1" : s;
           }
           case ExprKind::ReadConfig:
             return e->name() + "_" + e->field();
@@ -170,6 +279,89 @@ class CGen
           }
         }
         throw InternalError("codegen: unknown expr");
+    }
+
+    /** Stride spelling of dim `d` of the buffer named `name` (resolved),
+     *  as passed for a window formal ("" becomes "1"). */
+    std::string stride_arg(const std::string& name, size_t d)
+    {
+        std::string cname = resolve(name);
+        auto it = bufs_.find(cname);
+        if (it == bufs_.end())
+            throw InternalError("codegen: unknown buffer " + cname);
+        std::string s = stride_spelling(it->second, d);
+        return s.empty() ? "1" : s;
+    }
+
+    /** Backend check: a buffer passed for `formal` must have the same
+     *  element type, or the callee would reinterpret the bytes. */
+    void check_call_precision(const ProcArg& formal,
+                              const std::string& buf_name)
+    {
+        auto it = bufs_.find(resolve(buf_name));
+        if (it != bufs_.end() && it->second.type != formal.type) {
+            throw SchedulingError(
+                "codegen backend check: precision mismatch passing '" +
+                buf_name + "' (" + type_name(it->second.type) + ") for " +
+                "formal '" + formal.name + "' (" +
+                type_name(formal.type) + ")");
+        }
+    }
+
+    /** Render one call argument (with strides for window formals). */
+    std::string call_arg(const ProcArg& formal, const ExprPtr& a)
+    {
+        if (formal.dims.empty())
+            return expr(a);
+        if (a->kind() == ExprKind::Window ||
+            (a->kind() == ExprKind::Read && a->idx().empty())) {
+            check_call_precision(formal, a->name());
+        }
+        if (a->kind() == ExprKind::Window) {
+            std::string out = expr(a);  // &base[origin]
+            if (!formal.is_window)
+                return out;
+            size_t k = 0;
+            for (size_t d = 0; d < a->window_dims().size(); d++) {
+                if (a->window_dims()[d].is_point())
+                    continue;
+                out += ", " + stride_arg(a->name(), d);
+                k++;
+            }
+            if (k != formal.dims.size()) {
+                throw SchedulingError(
+                    "codegen backend check: window arity mismatch "
+                    "passing '" +
+                    a->name() + "' (" + std::to_string(k) + " interval " +
+                    "dims vs " + std::to_string(formal.dims.size()) +
+                    " formal dims)");
+            }
+            return out;
+        }
+        if (a->kind() == ExprKind::Read && a->idx().empty()) {
+            // Whole buffer passed to a buffer formal.
+            std::string cname = resolve(a->name());
+            std::string out = cname;
+            if (!formal.is_window)
+                return out;
+            auto it = bufs_.find(cname);
+            if (it == bufs_.end())
+                throw InternalError("codegen: unknown buffer " + cname);
+            size_t nd = it->second.dims.size();
+            if (nd != formal.dims.size()) {
+                throw SchedulingError(
+                    "codegen backend check: buffer arity mismatch "
+                    "passing '" +
+                    a->name() + "'");
+            }
+            for (size_t d = 0; d < nd; d++)
+                out += ", " + stride_arg(a->name(), d);
+            return out;
+        }
+        throw SchedulingError(
+            "codegen backend check: buffer argument must be a window or "
+            "a whole buffer, got '" +
+            print_expr(a) + "'");
     }
 
     void stmt(const StmtPtr& s)
@@ -187,9 +379,13 @@ class CGen
             info.dims = s->dims();
             info.type = s->type();
             info.mem = s->mem();
-            bufs_[s->name()] = info;
+            std::string cname = declare(s->name());
+            bufs_[cname] = info;
+            // Fresh allocations are zero-filled in the object language
+            // (the interpreter zero-initializes, and maskz instruction
+            // semantics depend on it), so the C lowering must match.
             if (s->dims().empty()) {
-                line(type_c_name(s->type()) + " " + s->name() + ";");
+                line(type_c_name(s->type()) + " " + cname + " = 0;");
                 return;
             }
             std::string size;
@@ -202,35 +398,44 @@ class CGen
                 attr = " /* " + s->mem()->name() + " register */";
             else if (s->mem()->kind() != MemoryKind::Dram)
                 attr = " /* @" + s->mem()->name() + " */";
-            line(type_c_name(s->type()) + " " + s->name() + "[" + size +
+            line(type_c_name(s->type()) + " " + cname + "[" + size +
                  "];" + attr);
+            line("__builtin_memset(" + cname + ", 0, sizeof(" + cname +
+                 "));");
             return;
           }
           case StmtKind::For: {
-            std::string i = s->iter();
-            std::string pragma;
             if (s->loop_mode() == LoopMode::Par)
                 line("#pragma omp parallel for");
-            line("for (int64_t " + i + " = " + expr(s->lo()) + "; " + i +
-                 " < " + expr(s->hi()) + "; " + i + "++) {");
+            std::string lo = expr(s->lo());
+            std::string hi = expr(s->hi());
+            push_scope();
+            std::string ci = declare(s->iter());
+            line("for (int64_t " + ci + " = " + lo + "; " + ci + " < " +
+                 hi + "; " + ci + "++) {");
             indent_++;
             for (const auto& c : s->body())
                 stmt(c);
             indent_--;
+            pop_scope();
             line("}");
             return;
           }
           case StmtKind::If: {
             line("if (" + expr(s->cond()) + ") {");
             indent_++;
+            push_scope();
             for (const auto& c : s->body())
                 stmt(c);
+            pop_scope();
             indent_--;
             if (!s->orelse().empty()) {
                 line("} else {");
                 indent_++;
+                push_scope();
                 for (const auto& c : s->orelse())
                     stmt(c);
+                pop_scope();
                 indent_--;
             }
             line("}");
@@ -246,11 +451,18 @@ class CGen
             std::string name = callee->is_instr()
                                    ? callee->instr()->c_template
                                    : callee->name();
+            const auto& formals = callee->args();
+            if (formals.size() != s->args().size()) {
+                throw SchedulingError(
+                    "codegen backend check: call arity mismatch calling "
+                    "'" +
+                    callee->name() + "'");
+            }
             std::string out = name + "(";
             for (size_t i = 0; i < s->args().size(); i++) {
                 if (i)
                     out += ", ";
-                out += expr(s->args()[i]);
+                out += call_arg(formals[i], s->args()[i]);
             }
             line(out + ");");
             return;
@@ -261,20 +473,42 @@ class CGen
             return;
           case StmtKind::WindowDecl: {
             const ExprPtr& w = s->rhs();
-            BufInfo base = bufs_.at(w->name());
+            std::string base_cname = resolve(w->name());
+            auto bit = bufs_.find(base_cname);
+            if (bit == bufs_.end())
+                throw InternalError("codegen: window of unknown buffer");
+            // Copy: declare() below may rehash bufs_.
+            BufInfo base = bit->second;
+            if (w->window_dims().size() != base.dims.size()) {
+                throw SchedulingError(
+                    "codegen backend check: window arity mismatch on '" +
+                    w->name() + "'");
+            }
+            std::string ptr = expr(w);  // &base[origin]
+            std::string cname = declare(s->name());
             BufInfo info;
             info.type = s->type();
             info.mem = base.mem;
-            for (const auto& d : w->window_dims()) {
-                if (!d.is_point()) {
-                    // Windows keep the base's inner strides; dense
-                    // lowering supports suffix windows only.
-                    info.dims.push_back(d.hi);  // conservative extent
-                }
+            info.strided = true;
+            line(type_c_name(s->type()) + "* " + cname + " = " + ptr +
+                 ";");
+            int k = 0;
+            for (size_t d = 0; d < w->window_dims().size(); d++) {
+                const WindowDim& wd = w->window_dims()[d];
+                if (wd.is_point())
+                    continue;
+                // The window keeps the base's stride in every retained
+                // dimension; the extent is hi - lo.
+                std::string sname =
+                    cname + "_exo2_s" + std::to_string(k++);
+                std::string stride = stride_spelling(base, d);
+                line("int64_t " + sname + " = " +
+                     (stride.empty() ? "1" : stride) + ";");
+                info.strides.push_back(sname);
+                info.dims.push_back(
+                    Expr::make_binop(BinOpKind::Sub, wd.hi, wd.lo));
             }
-            bufs_[s->name()] = info;
-            line(type_c_name(s->type()) + "* " + s->name() + " = " +
-                 expr(w) + ";");
+            bufs_[cname] = info;
             return;
           }
         }
@@ -284,8 +518,96 @@ class CGen
     ProcPtr proc_;
     std::ostringstream out_;
     std::map<std::string, BufInfo> bufs_;
+    std::vector<std::map<std::string, std::string>> scopes_;
+    std::set<std::string> cnames_;
     int indent_ = 0;
 };
+
+// -- Translation-unit assembly ---------------------------------------------
+
+/** Walk every expression under `s` (including nested stmts). */
+void
+visit_exprs(const StmtPtr& s, const std::function<void(const ExprPtr&)>& f)
+{
+    std::function<void(const ExprPtr&)> fe = [&](const ExprPtr& e) {
+        if (!e)
+            return;
+        f(e);
+        if (e->lhs())
+            fe(e->lhs());
+        if (e->rhs())
+            fe(e->rhs());
+        for (const auto& i : e->idx())
+            fe(i);
+        for (const auto& w : e->window_dims()) {
+            fe(w.lo);
+            if (w.hi)
+                fe(w.hi);
+        }
+    };
+    std::function<void(const StmtPtr&)> fs = [&](const StmtPtr& st) {
+        for (const auto& i : st->idx())
+            fe(i);
+        fe(st->rhs());
+        for (const auto& d : st->dims())
+            fe(d);
+        fe(st->lo());
+        fe(st->hi());
+        fe(st->cond());
+        for (const auto& a : st->args())
+            fe(a);
+        for (const auto& c : st->body())
+            fs(c);
+        for (const auto& c : st->orelse())
+            fs(c);
+    };
+    fs(s);
+}
+
+/** Collect `p` and its transitive callees in definition order. */
+void
+collect_procs(const ProcPtr& p, std::vector<ProcPtr>* out,
+              std::set<const Proc*>* seen)
+{
+    if (!p || seen->count(p.get()))
+        return;
+    seen->insert(p.get());
+    std::function<void(const StmtPtr&)> fs = [&](const StmtPtr& s) {
+        if (s->kind() == StmtKind::Call)
+            collect_procs(s->callee(), out, seen);
+        for (const auto& c : s->body())
+            fs(c);
+        for (const auto& c : s->orelse())
+            fs(c);
+    };
+    for (const auto& s : p->body_stmts())
+        fs(s);
+    out->push_back(p);
+}
+
+/** C bodies for the built-in extern scalar functions (kept in lockstep
+ *  with the interpreter's registry in interp.cc). */
+const std::map<std::string, std::string>&
+extern_c_impls()
+{
+    static const std::map<std::string, std::string> impls = {
+        {"relu", "static double relu(double a) "
+                 "{ return a > 0 ? a : 0; }"},
+        {"clamp_i8",
+         "static double clamp_i8(double a) "
+         "{ double r = __builtin_round(a); "
+         "return r < -128.0 ? -128.0 : (r > 127.0 ? 127.0 : r); }"},
+        {"acc_scale", "static double acc_scale(double a, double b) "
+                      "{ return a * b; }"},
+        {"select", "static double select(double c, double x, double y) "
+                   "{ return c >= 0 ? x : y; }"},
+        {"sqrt", "static double sqrt(double a) "
+                 "{ return __builtin_sqrt(a); }"},
+        {"abs", "static double abs(double a) "
+                "{ return __builtin_fabs(a); }"},
+    };
+    return impls;
+}
 
 }  // namespace
 
@@ -294,6 +616,111 @@ codegen_c(const ProcPtr& p)
 {
     CGen g(p);
     return g.run();
+}
+
+std::string
+codegen_c_unit(const ProcPtr& p)
+{
+    std::vector<ProcPtr> procs;
+    std::set<const Proc*> seen;
+    collect_procs(p, &procs, &seen);
+
+    // Scan for configuration fields and extern functions.
+    std::set<std::string> config_vars;
+    std::set<std::string> externs;
+    for (const auto& q : procs) {
+        for (const auto& s : q->body_stmts()) {
+            std::function<void(const StmtPtr&)> fs =
+                [&](const StmtPtr& st) {
+                    if (st->kind() == StmtKind::WriteConfig)
+                        config_vars.insert(st->name() + "_" + st->field());
+                    for (const auto& c : st->body())
+                        fs(c);
+                    for (const auto& c : st->orelse())
+                        fs(c);
+                };
+            fs(s);
+            visit_exprs(s, [&](const ExprPtr& e) {
+                if (e->kind() == ExprKind::ReadConfig)
+                    config_vars.insert(e->name() + "_" + e->field());
+                else if (e->kind() == ExprKind::Extern)
+                    externs.insert(e->name());
+            });
+        }
+    }
+
+    std::ostringstream out;
+    out << "#include <stdbool.h>\n#include <stdint.h>\n\n";
+    out << "/* Floor-semantics integer division / remainder: Index-typed\n"
+           " * `/` and `%` of the object language round toward negative\n"
+           " * infinity (remainder in [0, |b|)), unlike C's truncating\n"
+           " * operators. */\n";
+    out << "static inline int64_t exo2_fdiv(int64_t a, int64_t b) {\n"
+           "    int64_t q = a / b;\n"
+           "    if ((a % b != 0) && ((a < 0) != (b < 0))) q -= 1;\n"
+           "    return q;\n"
+           "}\n";
+    out << "static inline int64_t exo2_fmod(int64_t a, int64_t b) {\n"
+           "    int64_t m = a % b;\n"
+           "    if (m != 0 && ((a < 0) != (b < 0))) m += b;\n"
+           "    return m;\n"
+           "}\n\n";
+    for (const auto& name : externs) {
+        auto it = extern_c_impls().find(name);
+        if (it == extern_c_impls().end()) {
+            throw SchedulingError(
+                "codegen: extern function '" + name +
+                "' has no C implementation (add one to extern_c_impls)");
+        }
+        out << it->second << "\n";
+    }
+    if (!externs.empty())
+        out << "\n";
+    for (const auto& v : config_vars)
+        out << "static double " << v << " = 0.0;\n";
+    if (!config_vars.empty())
+        out << "\n";
+
+    for (const auto& q : procs) {
+        if (q->is_instr() && q->instr()->c_template != q->name()) {
+            // The template names the C-level function; emit the
+            // semantics body under that name.
+            ProcPtr renamed = q->renamed(q->instr()->c_template);
+            out << codegen_c(renamed) << "\n";
+        } else {
+            out << codegen_c(q) << "\n";
+        }
+    }
+
+    // Uniform entry point used by the in-process verification harness.
+    out << "void exo2_run(void** argv) {\n";
+    out << "    " << p->name() << "(";
+    const auto& args = p->args();
+    bool first = true;
+    for (size_t i = 0; i < args.size(); i++) {
+        if (!first)
+            out << ", ";
+        first = false;
+        const ProcArg& a = args[i];
+        if (a.dims.empty()) {
+            std::string ty =
+                (a.is_size || a.type == ScalarType::Index)
+                    ? "int64_t"
+                    : type_c_name(a.type);
+            out << "*(" << ty << "*)argv[" << i << "]";
+        } else {
+            if (a.is_window) {
+                throw SchedulingError(
+                    "codegen: cannot build an entry point for a proc "
+                    "with window arguments ('" +
+                    a.name + "')");
+            }
+            out << "(" << type_c_name(a.type) << "*)argv[" << i << "]";
+        }
+    }
+    out << ");\n";
+    out << "}\n";
+    return out.str();
 }
 
 int

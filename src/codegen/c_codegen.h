@@ -11,6 +11,18 @@
  *
  * Backend checks (Appendix A.7) run here: memory-space access
  * legality and precision consistency are validated during lowering.
+ *
+ * Semantics notes (kept in lockstep with the interpreter; the
+ * differential verifier in src/verify/ enforces this):
+ *  - Index-typed `/` and `%` lower to the floor-semantics helpers
+ *    `exo2_fdiv` / `exo2_fmod` (C's `/`/`%` truncate toward zero and
+ *    disagree for negative operands). The helpers are emitted by
+ *    `codegen_c_unit`.
+ *  - Window-typed arguments are lowered as a base pointer plus one
+ *    explicit `int64_t <name>_exo2_s<d>` stride parameter per
+ *    dimension, so strided (non-suffix) windows linearize correctly.
+ *  - Duplicate local declarations in one scope (e.g. produced by
+ *    unroll_loop copying an Alloc) are uniquified.
  */
 
 #include <string>
@@ -19,8 +31,26 @@
 
 namespace exo2 {
 
-/** Generate a self-contained C function for `p`. */
+/** Generate a self-contained C function for `p` (no preamble; see
+ *  codegen_c_unit for a compilable translation unit). */
 std::string codegen_c(const ProcPtr& p);
+
+/**
+ * Generate a complete, compilable C translation unit for `p`:
+ * the floor div/mod helpers, C implementations of the extern scalar
+ * functions used, configuration-state variables, the definitions of
+ * every (transitively) called procedure — hardware instructions are
+ * emitted from their semantics bodies — and finally `p` itself plus a
+ * uniform entry point
+ *
+ *     void exo2_run(void** argv);
+ *
+ * where argv[i] points at the i-th argument (int64_t for sizes,
+ * the element type for scalars, the buffer base pointer for buffers).
+ * This is what the differential-verification oracle compiles and runs
+ * in-process (src/verify/).
+ */
+std::string codegen_c_unit(const ProcPtr& p);
 
 /** Number of non-empty lines in the generated C (Figure 9a metric). */
 int codegen_c_lines(const ProcPtr& p);

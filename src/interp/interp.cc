@@ -218,10 +218,21 @@ class Machine
             if (e->op() == BinOpKind::Or)
                 return (l != 0.0 || eval(f, e->rhs()) != 0.0) ? 1.0 : 0.0;
             double r = eval(f, e->rhs());
+            // The expression's declared type is the semantics: f32
+            // arithmetic rounds each operation to f32, exactly as the
+            // C backend compiles it (which builds with -ffp-contract
+            // off). Without this, mixed-precision kernels (sdsdot /
+            // dsdot: f32 products into an f64 accumulator) diverge
+            // between the interpreter and generated C.
+            auto fp = [&](double v) {
+                return e->type() == ScalarType::F32
+                           ? static_cast<double>(static_cast<float>(v))
+                           : v;
+            };
             switch (e->op()) {
-              case BinOpKind::Add: return l + r;
-              case BinOpKind::Sub: return l - r;
-              case BinOpKind::Mul: return l * r;
+              case BinOpKind::Add: return fp(l + r);
+              case BinOpKind::Sub: return fp(l - r);
+              case BinOpKind::Mul: return fp(l * r);
               case BinOpKind::Div: {
                 if (e->type() == ScalarType::Index) {
                     int64_t li = static_cast<int64_t>(l);
@@ -234,7 +245,7 @@ class Machine
                         q -= 1;
                     return static_cast<double>(q);
                 }
-                return l / r;
+                return fp(l / r);
               }
               case BinOpKind::Mod: {
                 int64_t li = static_cast<int64_t>(l);
@@ -257,6 +268,7 @@ class Machine
             }
           }
           case ExprKind::USub:
+            // Negation is exact in binary floating point; no rounding.
             return -eval(f, e->lhs());
           case ExprKind::Stride: {
             auto it = f.names.find(e->name());
@@ -469,7 +481,10 @@ class Machine
                         b.index = eval_int(f, s->args()[i]);
                     } else {
                         b.kind = Binding::Kind::Scalar;
-                        b.scalar = eval(f, s->args()[i]);
+                        // Scalars round to the formal's type at the
+                        // call boundary, as C parameter passing does.
+                        b.scalar = convert(formals[i].type,
+                                           eval(f, s->args()[i]));
                     }
                 } else {
                     b.kind = Binding::Kind::Buf;
@@ -521,7 +536,8 @@ interp_run(const ProcPtr& p, const std::vector<RunArg>& args)
             break;
           case RunArg::Kind::Scalar:
             b.kind = Binding::Kind::Scalar;
-            b.scalar = args[i].scalar;
+            // Round to the formal's type, as C parameter passing does.
+            b.scalar = convert(formals[i].type, args[i].scalar);
             break;
           case RunArg::Kind::Buf:
             b.kind = Binding::Kind::Buf;

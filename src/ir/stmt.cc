@@ -423,8 +423,18 @@ block_subst(const std::vector<StmtPtr>& b, const std::string& name,
 {
     std::vector<StmtPtr> out;
     out.reserve(b.size());
-    for (const auto& s : b)
-        out.push_back(stmt_subst(s, name, repl));
+    bool shadowed = false;
+    for (const auto& s : b) {
+        // An Alloc/WindowDecl of the same name shadows `name` for the
+        // rest of this list (a For binder is handled per-statement in
+        // stmt_subst).
+        out.push_back(shadowed ? s : stmt_subst(s, name, repl));
+        if ((s->kind() == StmtKind::Alloc ||
+             s->kind() == StmtKind::WindowDecl) &&
+            s->name() == name) {
+            shadowed = true;
+        }
+    }
     return out;
 }
 

@@ -81,7 +81,9 @@ type_from_name(const std::string& name)
     if (name == "i32") return ScalarType::I32;
     if (name == "bool") return ScalarType::Bool;
     if (name == "size" || name == "index") return ScalarType::Index;
-    throw InternalError("unknown scalar type name: " + name);
+    // Reached from user-written source (parser type annotations).
+    throw SchedulingError("unknown scalar type name: '" + name +
+                          "' (expected f32, f64, i8, i32, bool, size)");
 }
 
 }  // namespace exo2

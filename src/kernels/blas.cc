@@ -425,7 +425,10 @@ find_kernel(const std::string& name)
         if (k.name == name)
             return k;
     }
-    throw InternalError("unknown kernel: " + name);
+    // A caller-supplied lookup key, not an engine invariant.
+    throw SchedulingError("unknown kernel: '" + name +
+                          "' (see blas_level1()/blas_level2() for the "
+                          "available variants)");
 }
 
 ProcPtr

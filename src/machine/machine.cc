@@ -334,7 +334,14 @@ Machine::instrs(ScalarType t) const
         return f32_;
     if (t == ScalarType::F64)
         return f64_;
-    throw InternalError("machine: unsupported precision");
+    // A user-selected precision, not an engine invariant: schedules pick
+    // the precision they vectorize at (Section 6.2), so reject it as a
+    // scheduling error that names the offending precision and machine.
+    throw SchedulingError(
+        "machine '" + name_ + "': unsupported vectorization precision " +
+        type_name(t) + " (only f32 and f64 vector instruction sets "
+        "exist; integer kernels must stay scalar or target a dedicated "
+        "accelerator)");
 }
 
 std::vector<ProcPtr>

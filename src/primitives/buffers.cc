@@ -56,6 +56,54 @@ lift_alloc(const ProcPtr& p, const Cursor& alloc, int n_lifts)
         }
         int ppos = 0;
         ListAddr paddr = list_addr_of(addr.parent, &ppos);
+        // Anti-capture: lifting grows the alloc's scope to the whole
+        // parent statement and the parent's later siblings. Any
+        // pre-existing reference to the name there binds to a different
+        // declaration and would be captured by the lifted alloc.
+        {
+            const auto& list = stmt_list_at(cur, addr);
+            for (int i = 0; i < pos; i++) {
+                require(!stmt_uses(list[i], s->name()),
+                        "lift_alloc: '" + s->name() +
+                            "' is referenced (or re-declared) before the "
+                            "allocation; lifting would capture it");
+            }
+            require(!(parent->cond() && expr_uses(parent->cond(),
+                                                  s->name())) &&
+                        !(parent->lo() && expr_uses(parent->lo(),
+                                                    s->name())) &&
+                        !(parent->hi() && expr_uses(parent->hi(),
+                                                    s->name())),
+                    "lift_alloc: parent header references '" + s->name() +
+                        "'");
+            const auto& other = addr.label == PathLabel::Body
+                                    ? parent->orelse()
+                                    : parent->body();
+            for (const auto& st : other) {
+                require(!stmt_uses_unshadowed(st, s->name()),
+                        "lift_alloc: '" + s->name() +
+                            "' is used in the parent's other branch; "
+                            "lifting would capture it");
+                if ((st->kind() == StmtKind::Alloc ||
+                     st->kind() == StmtKind::WindowDecl) &&
+                    st->name() == s->name()) {
+                    break;  // shadowed from here on
+                }
+            }
+            const auto& plist = stmt_list_at(cur, paddr);
+            for (size_t i = static_cast<size_t>(ppos) + 1;
+                 i < plist.size(); i++) {
+                require(!stmt_uses_unshadowed(plist[i], s->name()),
+                        "lift_alloc: '" + s->name() +
+                            "' is used after the parent statement; "
+                            "lifting would capture it");
+                if ((plist[i]->kind() == StmtKind::Alloc ||
+                     plist[i]->kind() == StmtKind::WindowDecl) &&
+                    plist[i]->name() == s->name()) {
+                    break;
+                }
+            }
+        }
         ProcPtr next =
             apply_move(cur, addr, pos, pos + 1, paddr, ppos, "lift_alloc");
         ac = next->forward(ac);
@@ -81,6 +129,24 @@ sink_alloc(const ProcPtr& p, const Cursor& alloc)
             "sink_alloc: next statement is not a For or If");
     require(!used_after(list, pos + 1, s->name()),
             "sink_alloc: buffer used outside the target scope");
+    // The alloc lands at the start of the target's *then/body* block:
+    // uses in the target's header expressions or its else branch would
+    // be left outside the new scope (found by the tri-oracle after
+    // specialize duplicated uses into both branches).
+    require(!(target->cond() && expr_uses(target->cond(), s->name())) &&
+                !(target->lo() && expr_uses(target->lo(), s->name())) &&
+                !(target->hi() && expr_uses(target->hi(), s->name())),
+            "sink_alloc: target header reads '" + s->name() + "'");
+    for (const auto& st : target->orelse()) {
+        require(!stmt_uses_unshadowed(st, s->name()),
+                "sink_alloc: '" + s->name() +
+                    "' is used in the target's else branch");
+        if ((st->kind() == StmtKind::Alloc ||
+             st->kind() == StmtKind::WindowDecl) &&
+            st->name() == s->name()) {
+            break;  // re-declared: the rest of the branch is shadowed
+        }
+    }
     // Destination: start of target body (post-deletion coords: target is
     // at `pos` after removing the alloc).
     Path tpath = addr.parent;
@@ -127,8 +193,19 @@ reuse_buffer(const ProcPtr& p, const Cursor& a_alloc, const Cursor& b_alloc)
     require(!used_after(list, bpos, sa->name()),
             "reuse_buffer: '" + sa->name() + "' is still live");
     std::vector<StmtPtr> repl;
-    for (size_t i = static_cast<size_t>(bpos) + 1; i < list.size(); i++)
+    bool shadowed = false;
+    for (size_t i = static_cast<size_t>(bpos) + 1; i < list.size(); i++) {
+        if (shadowed) {
+            repl.push_back(list[i]);
+            continue;
+        }
         repl.push_back(rename_buffer(list[i], sb->name(), sa->name()));
+        if ((list[i]->kind() == StmtKind::Alloc ||
+             list[i]->kind() == StmtKind::WindowDecl) &&
+            list[i]->name() == sb->name()) {
+            shadowed = true;  // re-declared: rest refers to the new binder
+        }
+    }
     return apply_replace_range(p, baddr, bpos,
                                static_cast<int>(list.size()),
                                std::move(repl), "reuse_buffer");
@@ -153,9 +230,21 @@ rewrite_alloc_and_scope(const ProcPtr& p, const Cursor& ac,
     const std::string name = new_alloc->name();
     std::vector<StmtPtr> repl;
     repl.push_back(std::move(new_alloc));
+    bool shadowed = false;
     for (size_t i = static_cast<size_t>(pos) + 1; i < list.size(); i++) {
+        if (shadowed) {
+            // A re-declaration (e.g. the duplicate Alloc an unroll
+            // copies into this list) shadows ours for the rest.
+            repl.push_back(list[i]);
+            continue;
+        }
         repl.push_back(
             rewrite_buffer_access(list[i], name, point_fn, window_fn));
+        if ((list[i]->kind() == StmtKind::Alloc ||
+             list[i]->kind() == StmtKind::WindowDecl) &&
+            list[i]->name() == name) {
+            shadowed = true;
+        }
     }
     // Shape is preserved for all statements (indices rewritten in
     // place): keep cursors stable.

@@ -222,6 +222,109 @@ expect_gap_cursor(const ProcPtr& p, const Cursor& c)
     return f;
 }
 
+bool
+block_binds_name(const std::vector<StmtPtr>& b, const std::string& name)
+{
+    for (const auto& s : b) {
+        if (s->kind() == StmtKind::For && s->iter() == name)
+            return true;
+        if ((s->kind() == StmtKind::Alloc ||
+             s->kind() == StmtKind::WindowDecl) &&
+            s->name() == name) {
+            return true;
+        }
+        if (block_binds_name(s->body(), name) ||
+            block_binds_name(s->orelse(), name)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+stmt_uses_unshadowed(const StmtPtr& s, const std::string& name)
+{
+    auto expr_use = [&](const ExprPtr& e) {
+        return e && expr_uses(e, name);
+    };
+    auto block_uses = [&](const std::vector<StmtPtr>& b) {
+        for (const auto& c : b) {
+            if (stmt_uses_unshadowed(c, name))
+                return true;
+            if ((c->kind() == StmtKind::Alloc ||
+                 c->kind() == StmtKind::WindowDecl) &&
+                c->name() == name) {
+                return false;  // re-declared: rest of the list shadowed
+            }
+        }
+        return false;
+    };
+    switch (s->kind()) {
+      case StmtKind::Assign:
+      case StmtKind::Reduce: {
+        if (s->name() == name)
+            return true;
+        for (const auto& i : s->idx()) {
+            if (expr_use(i))
+                return true;
+        }
+        return expr_use(s->rhs());
+      }
+      case StmtKind::Alloc: {
+        for (const auto& d : s->dims()) {
+            if (expr_use(d))
+                return true;
+        }
+        return false;  // the declaration itself is not a use
+      }
+      case StmtKind::WindowDecl:
+        // Windowing `name` as the base is a use; the declared window
+        // name itself is a binder, not a use.
+        return expr_use(s->rhs());
+      case StmtKind::For:
+        if (expr_use(s->lo()) || expr_use(s->hi()))
+            return true;
+        if (s->iter() == name)
+            return false;  // iterator shadows the body
+        return block_uses(s->body());
+      case StmtKind::If:
+        return expr_use(s->cond()) || block_uses(s->body()) ||
+               block_uses(s->orelse());
+      case StmtKind::Pass:
+        return false;
+      case StmtKind::Call: {
+        for (const auto& a : s->args()) {
+            if (expr_use(a))
+                return true;
+        }
+        return false;
+      }
+      case StmtKind::WriteConfig:
+        return expr_use(s->rhs());
+    }
+    return false;
+}
+
+void
+require_binders_do_not_escape(const ProcPtr& p, const ListAddr& addr,
+                              int lo, int hi, const std::string& who)
+{
+    const auto& list = stmt_list_at(p, addr);
+    for (int i = lo; i < hi && i < static_cast<int>(list.size()); i++) {
+        const StmtPtr& s = list[i];
+        if (s->kind() != StmtKind::Alloc &&
+            s->kind() != StmtKind::WindowDecl) {
+            continue;
+        }
+        for (size_t j = static_cast<size_t>(hi); j < list.size(); j++) {
+            require(!stmt_uses(list[j], s->name()),
+                    who + ": '" + s->name() +
+                        "' is declared inside the rewritten range but "
+                        "used after it (the new scope would capture it)");
+        }
+    }
+}
+
 ForwardFn
 fwd_relocate_list(ListAddr old_list, ListAddr new_list, ForwardFn rest)
 {
@@ -300,6 +403,15 @@ rewrite_access_expr(const ExprPtr& e, const std::string& name,
     return e->with_children(std::move(kids));
 }
 
+/** Whether `s` re-binds `name` for the rest of its statement list. */
+bool
+shadows_name(const StmtPtr& s, const std::string& name)
+{
+    return (s->kind() == StmtKind::Alloc ||
+            s->kind() == StmtKind::WindowDecl) &&
+           s->name() == name;
+}
+
 }  // namespace
 
 StmtPtr
@@ -325,6 +437,10 @@ rewrite_buffer_access(const StmtPtr& s, const std::string& name,
       case StmtKind::Alloc:
         return out;
       case StmtKind::For:
+        // An iterator of the same name shadows the buffer inside the
+        // body (bounds evaluate outside the iterator's scope).
+        if (s->iter() == name)
+            return out->with_bounds(rw(s->lo()), rw(s->hi()));
         return out->with_bounds(rw(s->lo()), rw(s->hi()))
             ->with_body(rewrite_buffer_access_block(s->body(), name,
                                                     point_fn, window_fn));
@@ -361,8 +477,18 @@ rewrite_buffer_access_block(const std::vector<StmtPtr>& b,
 {
     std::vector<StmtPtr> out;
     out.reserve(b.size());
-    for (const auto& s : b)
+    bool shadowed = false;
+    for (const auto& s : b) {
+        if (shadowed) {
+            // A re-declaration of `name` earlier in this list: the rest
+            // of the block refers to the new binder, not our buffer.
+            out.push_back(s);
+            continue;
+        }
         out.push_back(rewrite_buffer_access(s, name, point_fn, window_fn));
+        if (shadows_name(s, name))
+            shadowed = true;
+    }
     return out;
 }
 
@@ -441,22 +567,39 @@ rename_buffer(const StmtPtr& s, const std::string& old_name,
         return out;
       }
       case StmtKind::For: {
-        std::vector<StmtPtr> body;
-        for (const auto& c : s->body())
-            body.push_back(rename_buffer(c, old_name, new_name));
+        if (s->iter() == old_name)
+            return out->with_bounds(rw(s->lo()), rw(s->hi()));
+        auto rename_block = [&](const std::vector<StmtPtr>& b) {
+            std::vector<StmtPtr> nb;
+            bool shadowed = false;
+            for (const auto& c : b) {
+                nb.push_back(shadowed
+                                 ? c
+                                 : rename_buffer(c, old_name, new_name));
+                if (shadows_name(c, old_name))
+                    shadowed = true;
+            }
+            return nb;
+        };
         return out->with_bounds(rw(s->lo()), rw(s->hi()))
-            ->with_body(std::move(body));
+            ->with_body(rename_block(s->body()));
       }
       case StmtKind::If: {
-        std::vector<StmtPtr> body;
-        for (const auto& c : s->body())
-            body.push_back(rename_buffer(c, old_name, new_name));
-        std::vector<StmtPtr> orelse;
-        for (const auto& c : s->orelse())
-            orelse.push_back(rename_buffer(c, old_name, new_name));
+        auto rename_block = [&](const std::vector<StmtPtr>& b) {
+            std::vector<StmtPtr> nb;
+            bool shadowed = false;
+            for (const auto& c : b) {
+                nb.push_back(shadowed
+                                 ? c
+                                 : rename_buffer(c, old_name, new_name));
+                if (shadows_name(c, old_name))
+                    shadowed = true;
+            }
+            return nb;
+        };
         return out->with_cond(rw(s->cond()))
-            ->with_body(std::move(body))
-            ->with_orelse(std::move(orelse));
+            ->with_body(rename_block(s->body()))
+            ->with_orelse(rename_block(s->orelse()));
       }
       case StmtKind::Pass:
         return out;
@@ -524,22 +667,33 @@ visit_stmt_accesses(
       case StmtKind::Alloc:
         return;
       case StmtKind::For: {
+        if (s->iter() == name)
+            return;  // iterator shadows the buffer in the body
         Context inner = ctx;
         inner.enter_loop(s->iter(), s->lo(), s->hi());
-        for (const auto& c : s->body())
+        for (const auto& c : s->body()) {
             visit_stmt_accesses(inner, c, name, visit);
+            if (shadows_name(c, name))
+                break;
+        }
         return;
       }
       case StmtKind::If: {
         visit_expr_accesses(ctx, s->cond(), name, visit);
         Context tctx = ctx;
         tctx.assume(s->cond());
-        for (const auto& c : s->body())
+        for (const auto& c : s->body()) {
             visit_stmt_accesses(tctx, c, name, visit);
+            if (shadows_name(c, name))
+                break;
+        }
         Context ectx = ctx;
         ectx.system().add_pred_negated(s->cond());
-        for (const auto& c : s->orelse())
+        for (const auto& c : s->orelse()) {
             visit_stmt_accesses(ectx, c, name, visit);
+            if (shadows_name(c, name))
+                break;
+        }
         return;
       }
       case StmtKind::Pass:
@@ -576,8 +730,11 @@ visit_alloc_scope_accesses(
     ListAddr addr = list_addr_of(alloc_path, &pos);
     const auto& list = stmt_list_at(p, addr);
     Context ctx = Context::at(p, alloc_path);
-    for (size_t i = static_cast<size_t>(pos) + 1; i < list.size(); i++)
+    for (size_t i = static_cast<size_t>(pos) + 1; i < list.size(); i++) {
         visit_stmt_accesses(ctx, list[i], name, visit);
+        if (shadows_name(list[i], name))
+            break;  // re-declared: the rest refers to the new binder
+    }
 }
 
 void

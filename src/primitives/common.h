@@ -58,6 +58,35 @@ Cursor expect_loop_cursor(const ProcPtr& p, const Cursor& c);
 Cursor expect_gap_cursor(const ProcPtr& p, const Cursor& c);
 
 /**
+ * Require that no Alloc/WindowDecl at the top level of `list[lo, hi)`
+ * binds a name still used by `list[hi, end)`. Primitives that narrow a
+ * statement range's scope (wrapping it in a new For/If: specialize,
+ * add_loop) must call this, or the binder would be captured by the new
+ * scope and later uses left dangling.
+ */
+void require_binders_do_not_escape(const ProcPtr& p, const ListAddr& addr,
+                                   int lo, int hi, const std::string& who);
+
+/**
+ * Like `stmt_uses`, but shadowing-aware: a use under a re-declaration
+ * of `name` (Alloc/WindowDecl in a nested block, or a For iterator of
+ * the same name) refers to a different binder and does not count, and
+ * a bare re-declaration itself is not a use. Primitives that grow a
+ * binder's scope (lift_alloc) use this to detect capture.
+ */
+bool stmt_uses_unshadowed(const StmtPtr& s, const std::string& name);
+
+/**
+ * Whether any statement in `b` (recursively) binds `name` — as a For
+ * iterator or an Alloc/WindowDecl. Substituting an expression that
+ * reads `name` into such a block would capture those references;
+ * primitives that rename iterators across blocks (fuse, join_loops)
+ * must reject this.
+ */
+bool block_binds_name(const std::vector<StmtPtr>& b,
+                      const std::string& name);
+
+/**
  * Relocate forwarding: the statement list `old_list` moved wholesale to
  * `new_list` (same length and order); locations under it keep their
  * relative position, all other locations are forwarded by `rest`.

@@ -282,6 +282,10 @@ join_loops(const ProcPtr& p, const Cursor& loop1, const Cursor& loop2)
     Context ctx = Context::at(p, c1.loc().path);
     require(ctx.prove_eq(s1->hi(), s2->lo()),
             "join_loops: first upper bound must equal second lower bound");
+    require(s1->iter() == s2->iter() ||
+                !block_binds_name(s2->body(), s1->iter()),
+            "join_loops: '" + s1->iter() +
+                "' is re-bound inside the second loop's body");
     std::vector<StmtPtr> b2 = block_subst(s2->body(), s2->iter(),
                                           var(s1->iter()));
     require(block_equal(s1->body(), b2),
@@ -520,6 +524,9 @@ add_loop(const ProcPtr& p, const Cursor& stmt, const std::string& iter,
             "add_loop: loop bound must be positive");
     int pos = 0;
     ListAddr parent = list_addr_of(sc.loc().path, &pos);
+    // The loop body opens a new scope: an Alloc being wrapped must not
+    // be referenced after the wrapped statement.
+    require_binders_do_not_escape(p, parent, pos, pos + 1, "add_loop");
     // Batched: guard wrap + loop wrap commit as one version.
     EditBatch batch(p);
     if (guard) {

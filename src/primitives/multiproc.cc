@@ -207,6 +207,12 @@ struct Unifier
             farg && farg->mem ? farg->mem->kind() : MemoryKind::Dram;
         if (fkind != target_mem_kind(target))
             return false;
+        // Element precisions must agree: binding an f64 buffer to an
+        // f32 window formal type-puns the storage in generated C
+        // (found by the tri-oracle on dsdot/sdsdot, whose f64
+        // accumulator must not match the f32 reduce_add instruction).
+        if (farg && farg->type != t_type)
+            return false;
         size_t lead = tidx.size() - k;
         BufBinding cand;
         cand.target = target;
@@ -258,8 +264,11 @@ struct Unifier
             if (is_formal_buffer(f->name())) {
                 if (t->kind() != f->kind())
                     return false;
+                // t->type() is the written buffer's element type (the
+                // rhs type is the value's, which may differ in
+                // mixed-precision accumulations).
                 return unify_buffer_access(f->name(), f->idx(), t->name(),
-                                           t->idx(), t->rhs()->type());
+                                           t->idx(), t->type());
             }
             return false;  // instr writes must target buffer args
           }

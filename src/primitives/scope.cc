@@ -79,6 +79,9 @@ specialize(const ProcPtr& p, const Cursor& stmt,
         require(cond && cond->type() == ScalarType::Bool,
                 "specialize: conditions must be boolean predicates");
     }
+    // The branch bodies open a new scope: allocations in the wrapped
+    // range must not be referenced after it.
+    require_binders_do_not_escape(p, addr, lo, hi, "specialize");
     const auto& list = stmt_list_at(p, addr);
     std::vector<StmtPtr> block(list.begin() + lo, list.begin() + hi);
     // Build the chain inside-out.
@@ -162,6 +165,16 @@ fuse(const ProcPtr& p, const Cursor& scope1, const Cursor& scope2)
         require(ctx.prove_eq(s1->lo(), s2->lo()) &&
                     ctx.prove_eq(s1->hi(), s2->hi()),
                 "fuse: loop bounds are not provably equal");
+        // Renaming one loop's iterator to the other's must not be
+        // captured by a binder of that name nested in the body.
+        require(s1->iter() == s2->iter() ||
+                    !block_binds_name(s1->body(), s2->iter()),
+                "fuse: '" + s2->iter() +
+                    "' is re-bound inside the first loop's body");
+        require(s1->iter() == s2->iter() ||
+                    !block_binds_name(s2->body(), s1->iter()),
+                "fuse: '" + s1->iter() +
+                    "' is re-bound inside the second loop's body");
         std::vector<StmtPtr> b2 =
             block_subst(s2->body(), s2->iter(), var(s1->iter()));
         // Pure-recomputation acceptance: buffers written in s1 only by
@@ -412,6 +425,18 @@ lift_scope(const ProcPtr& p, const Cursor& scope)
         // for i: if e: s [else: s2]  ->  if e: for i: s [else: for i: s2]
         require(!expr_uses(inner->cond(), outer->iter()),
                 "lift_scope: condition depends on the loop iterator");
+        // The original re-evaluates the condition every iteration; the
+        // lifted form evaluates it once. If an iteration can change the
+        // condition's value, the programs differ.
+        {
+            std::vector<std::string> cond_reads;
+            expr_collect_reads(inner->cond(), &cond_reads);
+            for (const auto& nm : cond_reads) {
+                require(!stmt_writes(inner, nm),
+                        "lift_scope: loop body writes '" + nm +
+                            "' read by the condition");
+            }
+        }
         StmtPtr then_loop = outer->with_body(inner->body());
         std::vector<StmtPtr> new_orelse;
         if (!inner->orelse().empty())
@@ -436,6 +461,18 @@ lift_scope(const ProcPtr& p, const Cursor& scope)
         // if e: for i: s  ->  for i: if e: s   (outer must have no else)
         require(outer->orelse().empty(),
                 "lift_scope: outer if cannot have an else clause");
+        // The lifted form re-evaluates the condition every iteration;
+        // if the body can change its value, later iterations would be
+        // guarded differently than the original single evaluation.
+        {
+            std::vector<std::string> cond_reads;
+            expr_collect_reads(outer->cond(), &cond_reads);
+            for (const auto& nm : cond_reads) {
+                require(!stmt_writes(inner, nm),
+                        "lift_scope: loop body writes '" + nm +
+                            "' read by the condition");
+            }
+        }
         StmtPtr new_if = Stmt::make_if(outer->cond(), inner->body());
         StmtPtr new_for = inner->with_body({new_if});
         // Old body: outer_path.body[0].body[j] ->

@@ -508,14 +508,108 @@ inline_window(const ProcPtr& p, const Cursor& window_decl)
     ListAddr addr = list_addr_of(c.loc().path, &pos);
     const auto& list = stmt_list_at(p, addr);
     std::vector<StmtPtr> repl;
+    bool shadowed = false;
     for (size_t i = static_cast<size_t>(pos) + 1; i < list.size(); i++) {
+        if (shadowed) {
+            repl.push_back(list[i]);
+            continue;
+        }
         StmtPtr rewritten =
             rewrite_buffer_access(list[i], wname, point_fn, window_fn);
         repl.push_back(rename_buffer(rewritten, wname, bname));
+        if ((list[i]->kind() == StmtKind::Alloc ||
+             list[i]->kind() == StmtKind::WindowDecl) &&
+            list[i]->name() == wname) {
+            shadowed = true;  // re-declared: rest refers to the new binder
+        }
     }
     return apply_replace_range(p, addr, pos, static_cast<int>(list.size()),
                                std::move(repl), "inline_window");
 }
+
+namespace {
+
+/**
+ * True if `name` is used anywhere in the proc outside statements
+ * [pos, end) of the list at `addr`. Positional, not pointer-based:
+ * structurally shared subtrees may appear at several positions.
+ */
+bool
+used_outside_suffix(const ProcPtr& p, const ListAddr& addr, int pos,
+                    const std::string& name)
+{
+    bool found = false;
+    std::function<void(const std::vector<StmtPtr>&, const Path&,
+                       PathLabel)>
+        walk = [&](const std::vector<StmtPtr>& list, const Path& prefix,
+                   PathLabel label) {
+            if (found)
+                return;
+            bool is_target =
+                label == addr.label && prefix == addr.parent;
+            for (size_t i = 0; i < list.size() && !found; i++) {
+                if (is_target && static_cast<int>(i) >= pos)
+                    continue;  // the rewritten suffix itself
+                const StmtPtr& s = list[i];
+                // Below the target list cannot reappear, so a full
+                // recursive use check is exact here — except when this
+                // statement is an ancestor of the target list, where we
+                // must keep walking positionally.
+                bool ancestor = false;
+                if (addr.parent.size() > prefix.size()) {
+                    const PathStep& step = addr.parent[prefix.size()];
+                    ancestor = is_stmt_list_label(step.label) &&
+                               step.label == label &&
+                               step.index == static_cast<int>(i);
+                }
+                if (!ancestor) {
+                    // A bare declaration of the same name is not a use
+                    // of our variable (it is the binder itself, or a
+                    // shadowing re-declaration).
+                    if ((s->kind() == StmtKind::Alloc ||
+                         s->kind() == StmtKind::WindowDecl) &&
+                        s->name() == name) {
+                        for (const auto& d : s->dims())
+                            found = found || expr_uses(d, name);
+                        if (s->rhs())
+                            found = found || expr_uses(s->rhs(), name);
+                        continue;
+                    }
+                    if (stmt_uses(s, name))
+                        found = true;
+                    continue;
+                }
+                // Ancestor of the target list: check this node's own
+                // expressions, then recurse into its lists.
+                for (const auto& e : s->idx())
+                    found = found || expr_uses(e, name);
+                if (s->rhs())
+                    found = found || expr_uses(s->rhs(), name);
+                for (const auto& e : s->dims())
+                    found = found || expr_uses(e, name);
+                if (s->lo())
+                    found = found || expr_uses(s->lo(), name);
+                if (s->hi())
+                    found = found || expr_uses(s->hi(), name);
+                if (s->cond())
+                    found = found || expr_uses(s->cond(), name);
+                for (const auto& e : s->args())
+                    found = found || expr_uses(e, name);
+                if (s->is_write() && s->name() == name)
+                    found = true;
+                Path here = prefix;
+                here.push_back({label, static_cast<int>(i)});
+                if (!s->body().empty())
+                    walk(s->body(), here, PathLabel::Body);
+                if (!s->orelse().empty())
+                    walk(s->orelse(), here, PathLabel::Orelse);
+            }
+        };
+    walk(p->body_stmts(), {}, PathLabel::Body);
+    return found;
+}
+
+}  // namespace
 
 ProcPtr
 inline_assign(const ProcPtr& p, const Cursor& assign)
@@ -527,6 +621,13 @@ inline_assign(const ProcPtr& p, const Cursor& assign)
             "inline_assign: expected a scalar assignment");
     int pos = 0;
     ListAddr addr = list_addr_of(c.loc().path, &pos);
+    // Deleting the assignment is only sound if the destination's value
+    // cannot be observed outside the statements we rewrite: a use after
+    // the enclosing scope (or re-reachable through an enclosing loop's
+    // back-edge) would read the removed value.
+    require(!used_outside_suffix(p, addr, pos, s->name()),
+            "inline_assign: '" + s->name() +
+                "' is live outside the enclosing statement list");
     const auto& list = stmt_list_at(p, addr);
     // Safety: x is not re-written later, and the values e reads are not
     // modified by the following statements.

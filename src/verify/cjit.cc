@@ -1,0 +1,273 @@
+#include "src/verify/cjit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/codegen/c_codegen.h"
+#include "src/ir/errors.h"
+
+namespace exo2 {
+namespace verify {
+
+namespace {
+
+constexpr size_t kGuardBytes = 256;
+constexpr unsigned char kCanary = 0xAB;
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Native element store for one buffer argument, with guard zones. */
+struct NativeBuf
+{
+    std::vector<unsigned char> bytes;  ///< guard | payload | guard
+    Buffer* src = nullptr;
+    ScalarType type = ScalarType::F32;
+    int64_t count = 0;
+
+    void* payload() { return bytes.data() + kGuardBytes; }
+
+    void marshal_in(Buffer* b)
+    {
+        src = b;
+        type = b->type();
+        count = b->size();
+        size_t elem = static_cast<size_t>(type_size_bytes(type));
+        bytes.assign(2 * kGuardBytes + elem * static_cast<size_t>(count),
+                     kCanary);
+        for (int64_t i = 0; i < count; i++) {
+            double v = b->at(i);
+            unsigned char* p =
+                bytes.data() + kGuardBytes + elem * static_cast<size_t>(i);
+            switch (type) {
+              case ScalarType::F32: {
+                float f = static_cast<float>(v);
+                std::memcpy(p, &f, sizeof(f));
+                break;
+              }
+              case ScalarType::F64:
+                std::memcpy(p, &v, sizeof(v));
+                break;
+              case ScalarType::I8: {
+                int8_t x = static_cast<int8_t>(v);
+                std::memcpy(p, &x, sizeof(x));
+                break;
+              }
+              case ScalarType::I32: {
+                int32_t x = static_cast<int32_t>(v);
+                std::memcpy(p, &x, sizeof(x));
+                break;
+              }
+              default:
+                throw VerifyError("unsupported buffer element type");
+            }
+        }
+    }
+
+    void check_guards(const std::string& arg_name) const
+    {
+        size_t elem = static_cast<size_t>(type_size_bytes(type));
+        size_t tail = kGuardBytes + elem * static_cast<size_t>(count);
+        for (size_t i = 0; i < kGuardBytes; i++) {
+            if (bytes[i] != kCanary || bytes[tail + i] != kCanary) {
+                throw VerifyError(
+                    "compiled code wrote outside buffer '" + arg_name +
+                    "' (" + (bytes[i] != kCanary ? "before" : "after") +
+                    " its storage)");
+            }
+        }
+    }
+
+    void marshal_out() const
+    {
+        size_t elem = static_cast<size_t>(type_size_bytes(type));
+        for (int64_t i = 0; i < count; i++) {
+            const unsigned char* p =
+                bytes.data() + kGuardBytes + elem * static_cast<size_t>(i);
+            double v = 0;
+            switch (type) {
+              case ScalarType::F32: {
+                float f;
+                std::memcpy(&f, p, sizeof(f));
+                v = static_cast<double>(f);
+                break;
+              }
+              case ScalarType::F64:
+                std::memcpy(&v, p, sizeof(v));
+                break;
+              case ScalarType::I8: {
+                int8_t x;
+                std::memcpy(&x, p, sizeof(x));
+                v = static_cast<double>(x);
+                break;
+              }
+              case ScalarType::I32: {
+                int32_t x;
+                std::memcpy(&x, p, sizeof(x));
+                v = static_cast<double>(x);
+                break;
+              }
+              default:
+                throw VerifyError("unsupported buffer element type");
+            }
+            src->set(i, v);
+        }
+    }
+};
+
+}  // namespace
+
+CompiledProc::CompiledProc(const ProcPtr& p) : proc_(p)
+{
+    src_ = codegen_c_unit(p);
+
+    char tmpl[] = "/tmp/exo2_jit_XXXXXX";
+    char* dir = mkdtemp(tmpl);
+    if (!dir)
+        throw VerifyError("mkdtemp failed");
+    dir_ = dir;
+
+    std::string c_path = dir_ + "/kernel.c";
+    std::string so_path = dir_ + "/kernel.so";
+    std::string err_path = dir_ + "/cc.err";
+    {
+        std::ofstream out(c_path);
+        out << src_;
+    }
+
+    const char* cc = std::getenv("CC");
+    std::string cmd = std::string(cc && *cc ? cc : "cc") +
+                      " -O1 -fPIC -shared -fno-builtin -ffp-contract=off"
+                      " -fno-math-errno -w -o " +
+                      so_path + " " + c_path + " 2> " + err_path;
+    // The destructor never runs when the constructor throws, so clean
+    // the temp directory here on every failure path (minimization
+    // replays compile often enough to matter for /tmp).
+    auto fail = [&](const std::string& msg) {
+        std::string full = msg;
+        if (handle_) {
+            dlclose(handle_);
+            handle_ = nullptr;
+        }
+        unlink(c_path.c_str());
+        unlink(so_path.c_str());
+        unlink(err_path.c_str());
+        rmdir(dir_.c_str());
+        dir_.clear();
+        throw VerifyError(full);
+    };
+    int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+        fail("C compilation failed for proc '" + p->name() + "':\n" +
+             read_file(err_path) + "\n--- generated source ---\n" + src_);
+    }
+
+    handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!handle_) {
+        const char* err = dlerror();  // clears the error state
+        fail("dlopen failed: " + std::string(err ? err : "unknown"));
+    }
+    entry_ = reinterpret_cast<void (*)(void**)>(dlsym(handle_, "exo2_run"));
+    if (!entry_)
+        fail("entry point exo2_run not found in " + so_path);
+}
+
+CompiledProc::~CompiledProc()
+{
+    if (handle_)
+        dlclose(handle_);
+    if (!dir_.empty()) {
+        unlink((dir_ + "/kernel.c").c_str());
+        unlink((dir_ + "/kernel.so").c_str());
+        unlink((dir_ + "/cc.err").c_str());
+        rmdir(dir_.c_str());
+    }
+}
+
+void
+CompiledProc::run(const std::vector<RunArg>& args) const
+{
+    const auto& formals = proc_->args();
+    if (formals.size() != args.size())
+        throw VerifyError("run: arity mismatch for '" + proc_->name() +
+                          "'");
+
+    // Scalar slots must stay alive across the call; one 8-byte slot per
+    // argument is enough for every scalar type.
+    std::vector<int64_t> slots(args.size(), 0);
+    std::vector<NativeBuf> bufs(args.size());
+    std::vector<void*> argv(args.size(), nullptr);
+
+    for (size_t i = 0; i < args.size(); i++) {
+        const ProcArg& f = formals[i];
+        const RunArg& a = args[i];
+        switch (a.kind) {
+          case RunArg::Kind::Size:
+            if (f.dims.empty() == false)
+                throw VerifyError("run: size passed for buffer arg");
+            std::memcpy(&slots[i], &a.size, sizeof(a.size));
+            argv[i] = &slots[i];
+            break;
+          case RunArg::Kind::Scalar: {
+            // Store the native representation the generated entry
+            // point dereferences (exo2_run casts argv[i] to the
+            // formal's C type).
+            switch (f.type) {
+              case ScalarType::F32: {
+                float v = static_cast<float>(a.scalar);
+                std::memcpy(&slots[i], &v, sizeof(v));
+                break;
+              }
+              case ScalarType::F64:
+                std::memcpy(&slots[i], &a.scalar, sizeof(a.scalar));
+                break;
+              case ScalarType::I8: {
+                int8_t v = static_cast<int8_t>(a.scalar);
+                std::memcpy(&slots[i], &v, sizeof(v));
+                break;
+              }
+              case ScalarType::I32: {
+                int32_t v = static_cast<int32_t>(a.scalar);
+                std::memcpy(&slots[i], &v, sizeof(v));
+                break;
+              }
+              default:
+                throw VerifyError(
+                    "run: unsupported scalar formal type for '" +
+                    f.name + "'");
+            }
+            argv[i] = &slots[i];
+            break;
+          }
+          case RunArg::Kind::Buf:
+            if (!a.buf)
+                throw VerifyError("run: null buffer argument");
+            bufs[i].marshal_in(a.buf);
+            argv[i] = bufs[i].payload();
+            break;
+        }
+    }
+
+    entry_(argv.data());
+
+    for (size_t i = 0; i < args.size(); i++) {
+        if (args[i].kind != RunArg::Kind::Buf)
+            continue;
+        bufs[i].check_guards(formals[i].name);
+        bufs[i].marshal_out();
+    }
+}
+
+}  // namespace verify
+}  // namespace exo2

@@ -1,0 +1,71 @@
+#ifndef EXO2_VERIFY_CJIT_H_
+#define EXO2_VERIFY_CJIT_H_
+
+/**
+ * @file
+ * In-process execution of generated C: the second oracle of the
+ * tri-oracle (DESIGN.md §4).
+ *
+ * A CompiledProc writes `codegen_c_unit(p)` to a temporary directory,
+ * compiles it to a shared object with the system C compiler
+ * (`$CC`, default `cc`), loads it with dlopen, and calls the uniform
+ * `exo2_run(void**)` entry point. Buffers are marshalled from the
+ * interpreter's double-backed `Buffer` into native element arrays with
+ * canary-filled guard zones on both sides, so out-of-bounds writes by
+ * miscompiled code are detected instead of corrupting the test
+ * process.
+ */
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/interp/interp.h"
+#include "src/ir/proc.h"
+
+namespace exo2 {
+namespace verify {
+
+/** A verification-harness failure (compile error, guard-zone damage,
+ *  marshalling mismatch). Distinct from SchedulingError: it never
+ *  indicates user error, always an engine or environment problem. */
+class VerifyError : public std::runtime_error
+{
+  public:
+    explicit VerifyError(const std::string& msg)
+        : std::runtime_error("VerifyError: " + msg) {}
+};
+
+/** A procedure compiled to native code and loaded in-process. */
+class CompiledProc
+{
+  public:
+    /** Generates, compiles, and loads `p`. Throws VerifyError when the
+     *  compiler rejects the generated C (the error output and the
+     *  source are included in the message). */
+    explicit CompiledProc(const ProcPtr& p);
+    ~CompiledProc();
+
+    CompiledProc(const CompiledProc&) = delete;
+    CompiledProc& operator=(const CompiledProc&) = delete;
+
+    /** Execute with the same argument convention as `interp_run`.
+     *  Buffer contents are copied in before and back out after the
+     *  call. Throws VerifyError if a guard zone was overwritten. */
+    void run(const std::vector<RunArg>& args) const;
+
+    /** The generated translation unit (for diagnostics). */
+    const std::string& source() const { return src_; }
+
+  private:
+    ProcPtr proc_;
+    std::string src_;
+    std::string dir_;
+    void* handle_ = nullptr;
+    void (*entry_)(void**) = nullptr;
+};
+
+}  // namespace verify
+}  // namespace exo2
+
+#endif  // EXO2_VERIFY_CJIT_H_

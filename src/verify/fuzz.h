@@ -1,0 +1,88 @@
+#ifndef EXO2_VERIFY_FUZZ_H_
+#define EXO2_VERIFY_FUZZ_H_
+
+/**
+ * @file
+ * The seeded schedule fuzzer and divergence minimizer (DESIGN.md §4).
+ *
+ * A fuzz run draws a random chain of scheduling primitives over a
+ * kernel — primitives whose safety checks reject (SchedulingError /
+ * InvalidCursorError) are simply skipped, mirroring how user schedules
+ * use errors for control flow — then pushes the result through the
+ * tri-oracle (oracle.h). Every applied step is recorded as a
+ * self-describing FuzzStep so a failing chain replays from the
+ * (kernel, seed, steps) triple alone, and delta-debugs down to a
+ * minimal failing sub-chain.
+ *
+ * Reproducing a failure locally:
+ *     FuzzResult r = fuzz_schedule(kernels::find_kernel("saxpy").proc,
+ *                                  {{"n", 24}}, /seed/ 1234);
+ * prints `fuzz_repro_string("saxpy", 1234, r)` on failure — or replay
+ * `r.minimized` directly with `apply_fuzz_step`.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/proc.h"
+#include "src/verify/oracle.h"
+
+namespace exo2 {
+namespace verify {
+
+/**
+ * One recorded scheduling action. `op` names the primitive; `n` holds
+ * integer parameters (target ordinals — resolved modulo the number of
+ * candidates on the current proc — factors, offsets, flags) and `s`
+ * holds fresh names. Replaying the same steps on the same proc is
+ * deterministic.
+ */
+struct FuzzStep
+{
+    std::string op;
+    std::vector<int64_t> n;
+    std::vector<std::string> s;
+};
+
+/** Render a step as e.g. `divide[loop#1 factor=4 tail=cut io,ii]`. */
+std::string step_to_string(const FuzzStep& step);
+
+/**
+ * Apply one step to `p`. Throws SchedulingError (or InvalidCursorError)
+ * when the step is inapplicable — callers skip such steps.
+ */
+ProcPtr apply_fuzz_step(const ProcPtr& p, const FuzzStep& step);
+
+/** Outcome of one fuzzed schedule. */
+struct FuzzResult
+{
+    enum class Status {
+        Ok,          ///< all oracles agree
+        Divergence,  ///< oracles disagree (engine bug)
+        EngineError, ///< a primitive threw InternalError (engine bug)
+    };
+    Status status = Status::Ok;
+    std::string detail;
+    std::vector<FuzzStep> applied;    ///< steps that took effect
+    std::vector<FuzzStep> minimized;  ///< minimal failing sub-chain
+    ProcPtr scheduled;                ///< final proc (null on EngineError)
+};
+
+/**
+ * Draw and apply a random primitive chain (at most `max_steps` applied
+ * steps) on `p`, then tri-oracle-check it against `p` with inputs
+ * derived from `seed`. On failure the applied chain is minimized by
+ * repeated single-step removal (ddmin-style) before returning.
+ */
+FuzzResult fuzz_schedule(const ProcPtr& p, const SizeEnv& env,
+                         uint64_t seed, int max_steps = 8);
+
+/** Full reproduction recipe for a failing result. */
+std::string fuzz_repro_string(const std::string& kernel, uint64_t seed,
+                              const FuzzResult& r);
+
+}  // namespace verify
+}  // namespace exo2
+
+#endif  // EXO2_VERIFY_FUZZ_H_

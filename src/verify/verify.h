@@ -1,0 +1,30 @@
+#ifndef EXO2_VERIFY_VERIFY_H_
+#define EXO2_VERIFY_VERIFY_H_
+
+/**
+ * @file
+ * Umbrella header for the differential verification subsystem
+ * (DESIGN.md §4).
+ *
+ * The paper's core promise is that scheduling rewrites are
+ * semantics-preserving. This subsystem checks that promise against
+ * three independent executable oracles:
+ *
+ *   1. the IR interpreter running the *scheduled* procedure,
+ *   2. generated C for the scheduled procedure, compiled with the
+ *      system compiler and executed in-process (cjit.h),
+ *   3. the IR interpreter running the *unscheduled original* — the
+ *      reference semantics.
+ *
+ * A seeded schedule fuzzer (fuzz.h) drives random primitive chains
+ * over the kernels in src/kernels/ and asserts all three oracles agree
+ * on randomized buffer inputs; any divergence is delta-debugged down
+ * to a minimal primitive chain and reported as a reproducible
+ * (kernel, seed, steps) triple.
+ */
+
+#include "src/verify/cjit.h"
+#include "src/verify/fuzz.h"
+#include "src/verify/oracle.h"
+
+#endif  // EXO2_VERIFY_VERIFY_H_

@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Differential verification subsystem tests (DESIGN.md §4).
+ *
+ * Three layers:
+ *  1. Directed floor-division/modulo semantics tests across the
+ *     simplifier, the interpreter, and the C backend (the C backend
+ *     used to emit truncating `/` and `%`).
+ *  2. Minimized regression tests for every divergence the schedule
+ *     fuzzer found during development (scope capture by specialize /
+ *     add_loop / fuse / join_loops, binder-blind reorder_stmts /
+ *     inline_assign / access rewriting, uninitialized locals and
+ *     duplicate declarations in generated C, condition hoisting in
+ *     lift_scope).
+ *  3. Tri-oracle parity for every kernel scheduled through the
+ *     sched/ library entry points, plus the seeded fuzz loop itself
+ *     (>= 200 random schedules across >= 5 kernels by default;
+ *     EXO2_VERIFY_FUZZ_SEEDS scales the budget).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/analysis/context.h"
+#include "src/codegen/c_codegen.h"
+#include "src/frontend/parser.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/kernels/blas.h"
+#include "src/kernels/image.h"
+#include "src/primitives/primitives.h"
+#include "src/sched/blas.h"
+#include "src/sched/gemm.h"
+#include "src/sched/halide.h"
+#include "src/verify/verify.h"
+
+namespace exo2 {
+namespace {
+
+using verify::apply_fuzz_step;
+using verify::fuzz_repro_string;
+using verify::fuzz_schedule;
+using verify::FuzzResult;
+using verify::FuzzStep;
+using verify::SizeEnv;
+using verify::tri_oracle_check;
+
+// ---- 1. Floor division / modulo across all three layers -----------------
+
+TEST(FloorDivMod, SimplifierConstantFolding)
+{
+    ProcPtr dummy = parse_proc(R"(
+def d(n: size, x: f32[n] @ DRAM):
+    pass
+)");
+    Context ctx = Context::at(dummy, {});
+    SizeEnv none;
+    auto fold = [&](const ExprPtr& e) {
+        // simplify renders negative constants as USub(Const); evaluate
+        // the folded form rather than matching its shape.
+        return verify::eval_index_expr(simplify_expr(ctx, e), none);
+    };
+    // Negative numerator: floor, not truncation ([0, c) remainder).
+    EXPECT_EQ(fold(idx_const(-7) / idx_const(2)), -4);
+    EXPECT_EQ(fold(idx_const(-7) % idx_const(2)), 1);
+    // Exactly divisible and zero numerators are unaffected.
+    EXPECT_EQ(fold(idx_const(0) / idx_const(4)), 0);
+    EXPECT_EQ(fold(idx_const(-8) / idx_const(2)), -4);
+    EXPECT_EQ(fold(idx_const(-8) % idx_const(2)), 0);
+}
+
+TEST(FloorDivMod, InterpreterFloorSemantics)
+{
+    // y[i] = x[(i - n)/2 + n] exercises negative numerators at runtime.
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] = x[(i - n) / 2 + n]
+)");
+    Buffer x(ScalarType::F32, {4});
+    Buffer y(ScalarType::F32, {4});
+    for (int i = 0; i < 4; i++)
+        x.set(i, 10.0 + i);
+    interp_run(p, {RunArg::make_size(4), RunArg::make_buffer(&x),
+                   RunArg::make_buffer(&y)});
+    // floor((i-4)/2)+4 for i=0..3 is 2, 2, 3, 3 (truncation gives
+    // 2, 3, 3, 4 — the last of which is out of bounds).
+    EXPECT_EQ(y.at(0), 12.0);
+    EXPECT_EQ(y.at(1), 12.0);
+    EXPECT_EQ(y.at(2), 13.0);
+    EXPECT_EQ(y.at(3), 13.0);
+}
+
+TEST(FloorDivMod, CodegenEmitsFloorHelpers)
+{
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] = x[(i - 3) % n] + x[(i - n) / 2 + n]
+)");
+    std::string c = codegen_c(p);
+    EXPECT_NE(c.find("exo2_fdiv("), std::string::npos) << c;
+    EXPECT_NE(c.find("exo2_fmod("), std::string::npos) << c;
+    std::string unit = codegen_c_unit(p);
+    EXPECT_NE(unit.find("static inline int64_t exo2_fdiv"),
+              std::string::npos);
+    EXPECT_NE(unit.find("static inline int64_t exo2_fmod"),
+              std::string::npos);
+}
+
+TEST(FloorDivMod, TriOracleNegativeDiv)
+{
+    // Before the fix, C's truncating `/` indexed x[4] out of bounds
+    // (caught by the guard canaries) and disagreed with the
+    // interpreter on i = 1.
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] = x[(i - n) / 2 + n]
+)");
+    auto rep = tri_oracle_check(p, p, {{"n", 4}}, 11);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST(FloorDivMod, TriOracleNegativeMod)
+{
+    // Floor-mod keeps (i - 3) % n in [0, n); C's truncating `%` went
+    // negative for i < 3 and read out of bounds.
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] = x[(i - 3) % n]
+)");
+    auto rep = tri_oracle_check(p, p, {{"n", 5}}, 12);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+// ---- 2. Minimized regressions from fuzzer-found divergences -------------
+
+TEST(FuzzRegression, ReorderStmtsRefusesAllocPastUse)
+{
+    // Found on drot: effects analysis sees no data conflict between an
+    // Alloc and a write to the alloc'd name, so reorder_stmts happily
+    // moved the declaration after its first use.
+    ProcPtr p = parse_proc(R"(
+def f(x: f32[4] @ DRAM):
+    t: f32 @ DRAM
+    t = x[0]
+    x[0] = t
+)");
+    Cursor alloc = p->find_alloc("t");
+    Cursor use = p->find("t = _");
+    EXPECT_THROW(reorder_stmts(p, alloc, use), SchedulingError);
+}
+
+TEST(FuzzRegression, SpecializeRefusesEscapingAlloc)
+{
+    // Found on drot: specializing just the Alloc statement moved the
+    // declaration into the if's branches, leaving later uses unbound.
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        t: f32 @ DRAM
+        t = x[i]
+        x[i] = t
+)");
+    Cursor alloc = p->find_alloc("t");
+    ExprPtr cond = Expr::make_binop(
+        BinOpKind::Eq, Expr::make_binop(BinOpKind::Mod, var("n"),
+                                        idx_const(2)),
+        idx_const(0));
+    EXPECT_THROW(specialize(p, alloc, {cond}), SchedulingError);
+}
+
+TEST(FuzzRegression, AddLoopRefusesEscapingAlloc)
+{
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        t: f32 @ DRAM
+        t = x[i]
+        x[i] = t
+)");
+    Cursor alloc = p->find_alloc("t");
+    EXPECT_THROW(add_loop(p, alloc, "k", idx_const(2), /*guard=*/true),
+                 SchedulingError);
+}
+
+TEST(FuzzRegression, InlineAssignRefusesLiveOutsideScope)
+{
+    // Found on drot: the assignment sat alone inside a guarded loop
+    // inserted by add_loop; inline_assign deleted it although the
+    // destination is read after the loop.
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        t: f32 @ DRAM
+        for k in seq(0, 1):
+            t = x[i] * 2.0
+        x[i] = t
+)");
+    Cursor assign = p->find("t = _");
+    EXPECT_THROW(inline_assign(p, assign), SchedulingError);
+}
+
+TEST(FuzzRegression, ShadowedBranchSurvivesExpandDim)
+{
+    // Minimized from drot seed 38007: add_loop + specialize duplicate
+    // the body; lift_alloc hoists the then-branch's alloc to the top;
+    // expand_dim on it must NOT rewrite the else-branch accesses that
+    // bind to the (shadowing) inner declaration.
+    ProcPtr p = kernels::find_kernel("drot").proc;
+    std::vector<FuzzStep> steps = {
+        {"add_loop", {351202, 911829, 575302}, {"fzl4"}},
+        {"specialize_size", {478206, 187113, 320796}, {}},
+        {"lift_alloc", {784616, 537881, 131891}, {}},
+        {"expand_dim", {470114, 1047226, 674767}, {}},
+    };
+    ProcPtr cur = p;
+    for (const auto& st : steps)
+        ASSERT_NO_THROW(cur = apply_fuzz_step(cur, st));
+    // The else branch keeps its scalar accesses (its own binder).
+    std::string printed = print_proc(cur);
+    EXPECT_NE(printed.find("x[i] = xt\n"), std::string::npos) << printed;
+    auto rep = tri_oracle_check(p, cur, {{"n", 17}}, 38007);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST(FuzzRegression, DuplicateUnrolledAllocSurvivesExpandDim)
+{
+    // Minimized from drot seed 128007: unroll_loop copies the body of
+    // a divided loop, duplicating the xt Alloc within one list; the
+    // second declaration shadows the first, so expand_dim on the first
+    // must stop rewriting at it (it used to index the still-scalar
+    // second xt).
+    ProcPtr p = kernels::find_kernel("drot").proc;
+    std::vector<FuzzStep> steps = {
+        {"divide", {97186, 3, 555190}, {"fz6o", "fz6i"}},
+        {"unroll", {901369, 9528, 240498}, {}},
+        {"expand_dim", {310733, 616438, 747705}, {}},
+    };
+    ProcPtr cur = p;
+    for (const auto& st : steps)
+        ASSERT_NO_THROW(cur = apply_fuzz_step(cur, st));
+    auto rep = tri_oracle_check(p, cur, {{"n", 17}}, 128007);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST(FuzzRegression, SinkAllocRefusesElseBranchUses)
+{
+    // Minimized from strmv_lnn seed 122007: specialize duplicated the
+    // uses of a hoisted temp into both branches of an if; sink_alloc
+    // then moved the declaration into the then-branch only, leaving
+    // the else-branch writes unbound.
+    ProcPtr p = kernels::find_kernel("strmv_lnn").proc;
+    std::vector<FuzzStep> steps = {
+        {"divide", {487725, 2, 350438}, {"fz1o", "fz1i"}},
+        {"bind_expr", {322795, 196594, 1042061}, {"fzb2"}},
+        {"lift_alloc", {792222, 43315, 394401}, {}},
+        {"specialize_data", {395233, 95150, 555721}, {}},
+    };
+    ProcPtr cur = p;
+    for (const auto& st : steps)
+        ASSERT_NO_THROW(cur = apply_fuzz_step(cur, st));
+    EXPECT_THROW(apply_fuzz_step(
+                     cur, {"sink_alloc", {452684, 644764, 606769}, {}}),
+                 SchedulingError);
+    auto rep = tri_oracle_check(p, cur, {{"N", 13}}, 122007);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST(FuzzRegression, FuseRefusesIteratorCapture)
+{
+    // Minimized from strmv_lnn seed 27007: fusing two divide_loop
+    // products renamed the first loop's iterator to `fz22i`, which a
+    // loop nested in the first body re-binds — the substituted
+    // references were captured and indexed out of bounds.
+    ProcPtr p = parse_proc(R"(
+def f(x: f32[8] @ DRAM):
+    for a in seq(0, 2):
+        for b in seq(0, 3):
+            x[3 * a + b] = 1.0
+    for b in seq(0, 2):
+        x[b] = x[b] + 1.0
+)");
+    Cursor l1 = p->find_loop("a");
+    Cursor l2 = p->find_loop("b #1");
+    EXPECT_THROW(fuse(p, l1, l2), SchedulingError);
+}
+
+TEST(FuzzRegression, JoinLoopsRefusesIteratorCapture)
+{
+    ProcPtr p = parse_proc(R"(
+def f(x: f32[8] @ DRAM):
+    for a in seq(0, 2):
+        x[a] = 1.0
+    for c in seq(2, 4):
+        for a in seq(0, 1):
+            x[c + a] = 1.0
+)");
+    Cursor l1 = p->find_loop("a");
+    Cursor l2 = p->find_loop("c");
+    EXPECT_THROW(join_loops(p, l1, l2), SchedulingError);
+}
+
+TEST(FuzzRegression, UnrolledDuplicateLocalsStillCompile)
+{
+    // unroll_loop copies the body, Alloc included: the C backend used
+    // to emit two `float t;` declarations in one scope.
+    ProcPtr p = parse_proc(R"(
+def f(x: f32[4] @ DRAM, y: f32[4] @ DRAM):
+    for i in seq(0, 4):
+        t: f32 @ DRAM
+        t = x[i]
+        x[i] = y[i]
+        y[i] = t
+)");
+    ProcPtr u = unroll_loop(p, p->find_loop("i"));
+    std::string c = codegen_c(u);
+    EXPECT_NE(c.find("t_2"), std::string::npos) << c;
+    auto rep = tri_oracle_check(p, u, {}, 5);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST(FuzzRegression, GeneratedCZeroInitializesAllocations)
+{
+    // The object language zero-fills fresh allocations (the
+    // interpreter and the maskz instruction semantics both rely on
+    // it); generated C read stack garbage instead.
+    ProcPtr p = parse_proc(R"(
+def f(x: f32[4] @ DRAM):
+    t: f32[4] @ DRAM
+    s: f32 @ DRAM
+    x[0] = t[3] + s
+)");
+    std::string c = codegen_c(p);
+    EXPECT_NE(c.find("__builtin_memset(t, 0, sizeof(t));"),
+              std::string::npos)
+        << c;
+    EXPECT_NE(c.find("float s = 0;"), std::string::npos) << c;
+    auto rep = tri_oracle_check(p, p, {}, 3);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST(FuzzRegression, LiftScopeRefusesConditionWrittenByBody)
+{
+    // for i: if x[0] >= 0: x[0] = -1  re-evaluates the condition each
+    // iteration; hoisting the if outside would evaluate it once.
+    ProcPtr p = parse_proc(R"(
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        if x[0] >= 0.0:
+            x[0] = 0.0 - 1.0
+)");
+    Cursor iff = p->find_loop("i").body()[0];
+    EXPECT_THROW(lift_scope(p, iff), SchedulingError);
+
+    // And the converse direction: if x[0] >= 0: for i: x[0] = -1.
+    ProcPtr q = parse_proc(R"(
+def g(n: size, x: f32[n] @ DRAM):
+    if x[0] >= 0.0:
+        for i in seq(0, n):
+            x[0] = 0.0 - 1.0
+)");
+    EXPECT_THROW(lift_scope(q, q->find_loop("i")), SchedulingError);
+}
+
+TEST(FuzzRegression, WindowDeclUsesBaseStrides)
+{
+    // The old lowering gave a window declaration dense dims taken from
+    // the window's *hi* bounds, mislinearizing every non-suffix
+    // 2-D window; strides now come from the base buffer.
+    ProcPtr callee = parse_proc(R"(
+def fill(dst: [f32][2, 2] @ DRAM):
+    for i in seq(0, 2):
+        for j in seq(0, 2):
+            dst[i, j] = dst[i, j] + 7.0
+)");
+    // The concrete syntax has no window-declaration statement; build
+    // `w = A[1:3, 2:4]; fill(w)` programmatically (stage_mem creates
+    // the same shape).
+    ProcPtr shell = parse_proc(R"(
+def f(A: f32[4, 6] @ DRAM):
+    pass
+)");
+    ExprPtr win = Expr::make_window(
+        "A",
+        {WindowDim{idx_const(1), idx_const(3)},
+         WindowDim{idx_const(2), idx_const(4)}},
+        ScalarType::F32);
+    StmtPtr wd = Stmt::make_window_decl("w", win, ScalarType::F32);
+    StmtPtr call = Stmt::make_call(
+        callee, {Expr::make_read("w", {}, ScalarType::F32)});
+    ProcPtr p = Proc::make("f", shell->args(), {}, {wd, call});
+    auto rep = tri_oracle_check(p, p, {}, 21);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+// ---- 3. Tri-oracle parity for library-scheduled kernels -----------------
+
+TEST(TriOracleParity, Level1AllKernels)
+{
+    for (const auto& k : kernels::blas_level1()) {
+        ProcPtr opt;
+        ASSERT_NO_THROW(opt = sched::optimize_level_1(
+                            k.proc, k.proc->find_loop(k.main_loop),
+                            k.prec, machine_avx2(), 2))
+            << k.name;
+        // 19 exercises the masked ragged tail.
+        auto rep = tri_oracle_check(k.proc, opt, {{"n", 19}}, 1019);
+        EXPECT_TRUE(rep.ok) << k.name << ": " << rep.detail;
+    }
+}
+
+TEST(TriOracleParity, Level2AllKernels)
+{
+    for (const auto& k : kernels::blas_level2()) {
+        ProcPtr opt;
+        ASSERT_NO_THROW(opt = sched::optimize_level_2_general(
+                            k.proc, k.proc->find_loop(k.main_loop),
+                            k.prec, machine_avx2(), 2, 2))
+            << k.name;
+        SizeEnv env;
+        if (k.proc->find_arg("M"))
+            env["M"] = 13;
+        if (k.proc->find_arg("N"))
+            env["N"] = 9;
+        // Triangular solves amplify rounding through the recurrence.
+        double tol_scale =
+            k.name.find("trsv") != std::string::npos ? 1e3 : 1.0;
+        auto rep = tri_oracle_check(k.proc, opt, env, 2029, tol_scale);
+        EXPECT_TRUE(rep.ok) << k.name << ": " << rep.detail;
+    }
+}
+
+TEST(TriOracleParity, RegisterTiledSgemm)
+{
+    ProcPtr base = kernels::sgemm();
+    ProcPtr p = sched::sgemm_with_asserts(base, machine_avx2());
+    ProcPtr s;
+    ASSERT_NO_THROW(s = sched::schedule_sgemm(p, machine_avx2()));
+    auto rep = tri_oracle_check(p, s, {{"M", 8}, {"N", 16}, {"K", 5}},
+                                3031, /*tol_scale=*/10.0);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST(TriOracleParity, HalideBlurAndUnsharp)
+{
+    ProcPtr blur = kernels::blur();
+    ProcPtr sb;
+    ASSERT_NO_THROW(
+        sb = sched::schedule_blur_like_halide(blur, machine_avx2()));
+    auto rep = tri_oracle_check(blur, sb, {{"H", 32}, {"W", 256}}, 4051);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+
+    ProcPtr unsharp = kernels::unsharp();
+    ProcPtr su;
+    ASSERT_NO_THROW(su = sched::schedule_unsharp_like_halide(
+                        unsharp, machine_avx2()));
+    auto rep2 =
+        tri_oracle_check(unsharp, su, {{"H", 32}, {"W", 256}}, 4051);
+    EXPECT_TRUE(rep2.ok) << rep2.detail;
+}
+
+// ---- 4. The seeded schedule fuzzer --------------------------------------
+
+TEST(VerifyFuzz, RandomSchedulesAgreeAcrossOracles)
+{
+    struct FK
+    {
+        std::string name;
+        ProcPtr proc;
+        SizeEnv env;
+        int seeds;
+    };
+    // Default budget: 5 * 40 + 12 = 212 random schedules (>= 200).
+    int per = 40;
+    bool custom_budget = false;
+    if (const char* env = std::getenv("EXO2_VERIFY_FUZZ_SEEDS")) {
+        int v = std::atoi(env);
+        if (v > 0) {
+            per = v;
+            custom_budget = true;
+        }
+    }
+    std::vector<FK> fks = {
+        {"saxpy", kernels::find_kernel("saxpy").proc, {{"n", 24}}, per},
+        {"drot", kernels::find_kernel("drot").proc, {{"n", 17}}, per},
+        {"sgemv_n", kernels::find_kernel("sgemv_n").proc,
+         {{"M", 9}, {"N", 13}}, per},
+        {"strmv_lnn", kernels::find_kernel("strmv_lnn").proc,
+         {{"N", 13}}, per},
+        {"sgemm", kernels::sgemm(),
+         {{"M", 6}, {"N", 10}, {"K", 7}}, per},
+        {"blur", kernels::blur(), {{"H", 32}, {"W", 256}},
+         std::max(1, per * 3 / 10)},
+    };
+    int total = 0;
+    for (const auto& fk : fks) {
+        for (int s = 0; s < fk.seeds; s++) {
+            uint64_t seed = 1000 * static_cast<uint64_t>(s) + 7;
+            FuzzResult r = fuzz_schedule(fk.proc, fk.env, seed);
+            total++;
+            ASSERT_EQ(r.status, FuzzResult::Status::Ok)
+                << fuzz_repro_string(fk.name, seed, r);
+        }
+    }
+    if (!custom_budget)
+        EXPECT_GE(total, 200);  // the acceptance floor at default budget
+}
+
+}  // namespace
+}  // namespace exo2
