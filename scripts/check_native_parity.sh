@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Native-intrinsics parity gate: rerun the tri-oracle sweep (all L1+L2
+# kernels, register-tiled SGEMM, Halide blur/unsharp, the fuzz
+# regressions) and the directed native tests with intrinsics codegen
+# enabled, so the compiled-C oracle executes real AVX2/AVX-512 code
+# against the interpreter. Wired as the opt-in `native_parity` ctest
+# when EXO2_ENABLE_NATIVE_PARITY=ON; also runnable standalone:
+#
+#   scripts/check_native_parity.sh <test_verify binary> <test_native binary>
+#
+# Skips cleanly (exit 0) on machines whose CPU has no AVX2.
+set -euo pipefail
+
+bin_verify="${1:?usage: check_native_parity.sh <test_verify> <test_native>}"
+bin_native="${2:?usage: check_native_parity.sh <test_verify> <test_native>}"
+
+# The in-process JIT honors $CC; pin it so the parity run reports the
+# toolchain it actually tested.
+: "${CC:=cc}"
+export CC
+
+# The JIT's AVX2 mode requires FMA too (cjit_cpu_supports), so gate on
+# both flags — an avx2-without-fma CPU must skip, not fail.
+if ! grep -qw avx2 /proc/cpuinfo 2>/dev/null ||
+   ! grep -qw fma /proc/cpuinfo 2>/dev/null; then
+    echo "native_parity: CPU has no AVX2+FMA; skipping" >&2
+    exit 0
+fi
+isa=avx2
+if grep -qw avx512f /proc/cpuinfo 2>/dev/null; then
+    isa=avx512
+fi
+export EXO2_NATIVE_ISA="$isa"
+echo "native_parity: EXO2_NATIVE_ISA=$isa, CC=$CC" >&2
+
+"$bin_verify"
+"$bin_native"

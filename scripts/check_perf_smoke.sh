@@ -8,6 +8,12 @@
 set -euo pipefail
 
 bench="${1:?usage: check_perf_smoke.sh <bench_schedule_time binary> [traj.json]}"
+
+# The benchmark binaries JIT-compile generated kernels in-process
+# (src/verify/cjit.cc honors $CC, default cc); pin and export it so the
+# smoke check exercises the same toolchain as the rest of CI.
+: "${CC:=cc}"
+export CC
 traj="${2:-$(cd "$(dirname "$0")/.." && pwd)/BENCH_schedule_time.json}"
 raw=$(mktemp /tmp/exo2_perf_smoke.XXXXXX.json)
 trap 'rm -f "$raw"' EXIT

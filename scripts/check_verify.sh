@@ -15,9 +15,19 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 seeds="${1:-120}"
 build_dir="${EXO2_VERIFY_BUILD_DIR:-$repo_root/build-asan}"
 
+# One toolchain for everything: the CXX that builds the test binary is
+# passed to cmake explicitly, and CC is exported so the in-process JIT
+# (src/verify/cjit.cc honors $CC, default cc) compiles the generated
+# kernels with the same toolchain CI selected rather than silently
+# testing a different compiler.
+: "${CC:=cc}"
+: "${CXX:=c++}"
+export CC CXX
+
 mkdir -p "$build_dir"
 cmake -S "$repo_root" -B "$build_dir" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER="$CXX" \
     -DEXO2_BUILD_BENCH=OFF \
     -DEXO2_BUILD_EXAMPLES=OFF \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \

@@ -10,6 +10,7 @@
 
 #include "src/ir/errors.h"
 #include "src/ir/printer.h"
+#include "src/util/strings.h"
 
 namespace exo2 {
 
@@ -25,7 +26,39 @@ struct BufInfo
      *  args and window declarations) instead of dense row-major. */
     bool strided = false;
     std::vector<std::string> strides;  ///< per-dim spelling when strided
+    /** Native mode: declared as a __m256/__m512 value (1-D) or array
+     *  of them (outer dims), not as a scalar array. Lane-level access
+     *  goes through an element-pointer cast. */
+    bool vec = false;
 };
+
+/** C spelling of one native vector register type. */
+std::string
+vec_c_type(ScalarType t, int vector_bytes)
+{
+    if (vector_bytes == 64)
+        return t == ScalarType::F32 ? "__m512" : "__m512d";
+    return t == ScalarType::F32 ? "__m256" : "__m256d";
+}
+
+/** Zeroing intrinsic matching vec_c_type. */
+std::string
+vec_zero_intrinsic(ScalarType t, int vector_bytes)
+{
+    std::string p = vector_bytes == 64 ? "_mm512_" : "_mm256_";
+    return p + (t == ScalarType::F32 ? "setzero_ps()" : "setzero_pd()");
+}
+
+/** The C function name an instruction's scalar helper is emitted
+ *  under: the legacy name-only template, or the proc's own name when
+ *  the template is an intrinsic snippet. */
+std::string
+instr_helper_name(const ProcPtr& q)
+{
+    const std::string& t = q->instr()->c_template;
+    return (t.empty() || q->instr()->has_native_template()) ? q->name()
+                                                            : t;
+}
 
 /** Render a floating literal so it round-trips exactly through C. */
 std::string
@@ -59,7 +92,15 @@ float_literal(double v, ScalarType t)
 class CGen
 {
   public:
-    explicit CGen(const ProcPtr& p) : proc_(p) {}
+    /** `opts.native_vector_bytes` enables native SIMD lowering;
+     *  `fallback_out` (optional) collects instructions a call site had
+     *  to invoke as a scalar helper, `immintrin_out` (optional) is set
+     *  when the emitted code needs <immintrin.h>. */
+    explicit CGen(const ProcPtr& p, const CodegenOpts& opts = {},
+                  std::set<const Proc*>* fallback_out = nullptr,
+                  bool* immintrin_out = nullptr)
+        : proc_(p), native_bytes_(opts.native_vector_bytes),
+          fallback_out_(fallback_out), immintrin_out_(immintrin_out) {}
 
     std::string run()
     {
@@ -200,13 +241,43 @@ class CGen
         return out.empty() ? "0" : out;
     }
 
+    void note_immintrin()
+    {
+        if (immintrin_out_)
+            *immintrin_out_ = true;
+    }
+
+    /** Element-pointer spelling of a native vector buffer: lanes are
+     *  dense, so `((float*)&v)` (single register) or `((float*)v)`
+     *  (register array) indexes them like the scalar layout would. */
+    std::string lane_base(const std::string& cname, const BufInfo& b)
+    {
+        std::string amp = b.dims.size() == 1 ? "&" : "";
+        return "((" + type_c_name(b.type) + "*)" + amp + cname + ")";
+    }
+
+    /** Evaluate a constant Index expression; false when not constant. */
+    static bool const_value(const ExprPtr& e, int64_t* out)
+    {
+        if (!e || e->kind() != ExprKind::Const)
+            return false;
+        *out = static_cast<int64_t>(e->const_value());
+        return true;
+    }
+
     std::string access(const std::string& name,
                        const std::vector<ExprPtr>& idx)
     {
         std::string cname = resolve(name);
         auto it = bufs_.find(cname);
-        if (it != bufs_.end() && !it->second.dims.empty())
+        if (it != bufs_.end() && !it->second.dims.empty()) {
+            if (it->second.vec) {
+                // Residual lane-level access to a vector register.
+                return lane_base(cname, it->second) + "[" +
+                       flat_index(cname, idx) + "]";
+            }
             return cname + "[" + flat_index(cname, idx) + "]";
+        }
         return cname;  // scalar
     }
 
@@ -255,6 +326,11 @@ class CGen
             for (const auto& d : e->window_dims())
                 idx.push_back(d.lo);
             std::string cname = resolve(e->name());
+            auto it = bufs_.find(cname);
+            if (it != bufs_.end() && it->second.vec) {
+                return "(" + lane_base(cname, it->second) + " + " +
+                       flat_index(cname, idx) + ")";
+            }
             return "&" + cname + "[" + flat_index(cname, idx) + "]";
           }
           case ExprKind::Stride: {
@@ -269,7 +345,10 @@ class CGen
           case ExprKind::ReadConfig:
             return e->name() + "_" + e->field();
           case ExprKind::Extern: {
-            std::string out = e->name() + "(";
+            // Extern impls carry an exo2_ext_ prefix: bare names like
+            // `abs` or `sqrt` conflict with libc declarations as soon
+            // as a system header (e.g. immintrin.h) is included.
+            std::string out = "exo2_ext_" + e->name() + "(";
             for (size_t i = 0; i < e->idx().size(); i++) {
                 if (i)
                     out += ", ";
@@ -308,6 +387,191 @@ class CGen
         }
     }
 
+    // -- Native SIMD lowering ----------------------------------------------
+
+    /** Whether an Alloc can become a __m256/__m512 value: vector
+     *  memory covered by the ISA budget, float element type, constant
+     *  shape whose innermost dimension is exactly one register. */
+    bool vec_alloc_eligible(const StmtPtr& s) const
+    {
+        if (!native_bytes_ || s->dims().empty())
+            return false;
+        const MemoryPtr& mem = s->mem();
+        if (!mem || !mem->is_vector() ||
+            mem->vector_bytes() > native_bytes_) {
+            return false;
+        }
+        if (s->type() != ScalarType::F32 && s->type() != ScalarType::F64)
+            return false;
+        int lanes = mem->vector_bytes() / type_size_bytes(s->type());
+        int64_t v = 0;
+        for (const auto& d : s->dims()) {
+            if (!const_value(d, &v))
+                return false;
+        }
+        return v == lanes;  // v holds the innermost dimension
+    }
+
+    void emit_vec_alloc(const StmtPtr& s, const std::string& cname)
+    {
+        note_immintrin();
+        std::string vt = vec_c_type(s->type(), s->mem()->vector_bytes());
+        std::string attr = " /* " + s->mem()->name() + " register */";
+        // Fresh allocations are zero-filled in the object language.
+        if (s->dims().size() == 1) {
+            line(vt + " " + cname + " = " +
+                 vec_zero_intrinsic(s->type(), s->mem()->vector_bytes()) +
+                 ";" + attr);
+            return;
+        }
+        std::string outer;
+        for (size_t d = 0; d + 1 < s->dims().size(); d++) {
+            std::string piece = "(" + expr(s->dims()[d]) + ")";
+            outer = outer.empty() ? piece : outer + " * " + piece;
+        }
+        line(vt + " " + cname + "[" + outer + "];" + attr);
+        line("__builtin_memset(" + cname + ", 0, sizeof(" + cname +
+             "));");
+    }
+
+    /** Spell a vector-register operand for an intrinsic snippet: the
+     *  whole (1-D) register, or one register of an array selected by a
+     *  window whose outer dims are points and whose innermost interval
+     *  covers the full register. */
+    bool vec_reg_operand(const ProcArg& formal, const ExprPtr& a,
+                         std::string* out)
+    {
+        if (formal.dims.size() != 1)
+            return false;
+        if (a->kind() == ExprKind::Read && a->idx().empty()) {
+            std::string cname = resolve(a->name());
+            auto it = bufs_.find(cname);
+            if (it == bufs_.end() || !it->second.vec ||
+                it->second.dims.size() != 1 ||
+                it->second.type != formal.type) {
+                return false;
+            }
+            *out = cname;
+            return true;
+        }
+        if (a->kind() != ExprKind::Window)
+            return false;
+        std::string cname = resolve(a->name());
+        auto it = bufs_.find(cname);
+        if (it == bufs_.end() || !it->second.vec ||
+            it->second.type != formal.type) {
+            return false;
+        }
+        const BufInfo& b = it->second;
+        if (a->window_dims().size() != b.dims.size())
+            return false;
+        size_t last = b.dims.size() - 1;
+        for (size_t d = 0; d < last; d++) {
+            if (!a->window_dims()[d].is_point())
+                return false;
+        }
+        const WindowDim& wd = a->window_dims()[last];
+        int64_t lo = 0, hi = 0, lanes = 0;
+        if (wd.is_point() || !const_value(wd.lo, &lo) ||
+            !const_value(wd.hi, &hi) ||
+            !const_value(b.dims[last], &lanes) || lo != 0 || hi != lanes) {
+            return false;
+        }
+        if (b.dims.size() == 1) {
+            *out = cname;
+            return true;
+        }
+        // One register out of an array: flatten the outer point dims.
+        std::string flat;
+        for (size_t d = 0; d < last; d++) {
+            std::string term = "(" + expr(a->window_dims()[d].lo) + ")";
+            for (size_t k = d + 1; k < last; k++)
+                term += " * (" + expr(b.dims[k]) + ")";
+            flat = flat.empty() ? term : flat + " + " + term;
+        }
+        *out = cname + "[" + flat + "]";
+        return true;
+    }
+
+    /** Spell a memory operand (element pointer) for an intrinsic
+     *  snippet; requires a statically unit-stride lane dimension so
+     *  `loadu`/`storeu`-style intrinsics address it directly. */
+    bool mem_operand(const ProcArg& formal, const ExprPtr& a,
+                     std::string* out)
+    {
+        if (a->kind() == ExprKind::Read && a->idx().empty()) {
+            std::string cname = resolve(a->name());
+            auto it = bufs_.find(cname);
+            if (it == bufs_.end() ||
+                it->second.dims.size() != formal.dims.size() ||
+                it->second.type != formal.type) {
+                return false;
+            }
+            std::string st =
+                stride_spelling(it->second, it->second.dims.size() - 1);
+            if (!st.empty() && st != "1")
+                return false;
+            *out = it->second.vec ? lane_base(cname, it->second) : cname;
+            return true;
+        }
+        if (a->kind() != ExprKind::Window)
+            return false;
+        std::string cname = resolve(a->name());
+        auto it = bufs_.find(cname);
+        if (it == bufs_.end() || it->second.type != formal.type ||
+            a->window_dims().size() != it->second.dims.size()) {
+            return false;
+        }
+        size_t intervals = 0;
+        size_t last_interval = 0;
+        for (size_t d = 0; d < a->window_dims().size(); d++) {
+            if (!a->window_dims()[d].is_point()) {
+                intervals++;
+                last_interval = d;
+            }
+        }
+        if (intervals != formal.dims.size())
+            return false;
+        std::string st = stride_spelling(it->second, last_interval);
+        if (!st.empty() && st != "1")
+            return false;
+        *out = "(" + expr(a) + ")";
+        return true;
+    }
+
+    /** Expand `callee`'s intrinsic snippet at this call site; false
+     *  when an operand cannot satisfy the snippet's contract (the
+     *  caller then falls back to the scalar helper). */
+    bool try_native_call(const StmtPtr& s, const ProcPtr& callee)
+    {
+        const auto& formals = callee->args();
+        if (formals.size() != s->args().size())
+            return false;  // the generic path reports the arity error
+        std::vector<std::pair<std::string, std::string>> subs;
+        for (size_t i = 0; i < formals.size(); i++) {
+            const ProcArg& f = formals[i];
+            const ExprPtr& a = s->args()[i];
+            std::string spell;
+            if (f.dims.empty()) {
+                spell = "(" + expr(a) + ")";
+            } else if (f.mem && f.mem->is_vector()) {
+                if (f.mem->vector_bytes() > native_bytes_ ||
+                    !vec_reg_operand(f, a, &spell)) {
+                    return false;
+                }
+            } else if (!mem_operand(f, a, &spell)) {
+                return false;
+            }
+            subs.emplace_back("{" + f.name + "}", spell);
+        }
+        std::string body = callee->instr()->c_template;
+        for (const auto& [key, value] : subs)
+            body = replace_all(body, key, value);
+        note_immintrin();
+        line(body);
+        return true;
+    }
+
     /** Render one call argument (with strides for window formals). */
     std::string call_arg(const ProcArg& formal, const ExprPtr& a)
     {
@@ -341,7 +605,10 @@ class CGen
         if (a->kind() == ExprKind::Read && a->idx().empty()) {
             // Whole buffer passed to a buffer formal.
             std::string cname = resolve(a->name());
-            std::string out = cname;
+            auto vit = bufs_.find(cname);
+            std::string out = (vit != bufs_.end() && vit->second.vec)
+                                  ? lane_base(cname, vit->second)
+                                  : cname;
             if (!formal.is_window)
                 return out;
             auto it = bufs_.find(cname);
@@ -379,6 +646,13 @@ class CGen
             info.dims = s->dims();
             info.type = s->type();
             info.mem = s->mem();
+            if (vec_alloc_eligible(s)) {
+                info.vec = true;
+                std::string cname = declare(s->name());
+                bufs_[cname] = info;
+                emit_vec_alloc(s, cname);
+                return;
+            }
             std::string cname = declare(s->name());
             bufs_[cname] = info;
             // Fresh allocations are zero-filled in the object language
@@ -448,8 +722,15 @@ class CGen
             const ProcPtr& callee = s->callee();
             if (!callee)
                 throw InternalError("codegen: unresolved call");
+            if (native_bytes_ && callee->is_instr() &&
+                callee->instr()->has_native_template() &&
+                try_native_call(s, callee)) {
+                return;
+            }
+            if (callee->is_instr() && fallback_out_)
+                fallback_out_->insert(callee.get());
             std::string name = callee->is_instr()
-                                   ? callee->instr()->c_template
+                                   ? instr_helper_name(callee)
                                    : callee->name();
             const auto& formals = callee->args();
             if (formals.size() != s->args().size()) {
@@ -516,6 +797,9 @@ class CGen
     }
 
     ProcPtr proc_;
+    int native_bytes_ = 0;
+    std::set<const Proc*>* fallback_out_ = nullptr;
+    bool* immintrin_out_ = nullptr;
     std::ostringstream out_;
     std::map<std::string, BufInfo> bufs_;
     std::vector<std::map<std::string, std::string>> scopes_;
@@ -591,39 +875,145 @@ const std::map<std::string, std::string>&
 extern_c_impls()
 {
     static const std::map<std::string, std::string> impls = {
-        {"relu", "static double relu(double a) "
+        {"relu", "static double exo2_ext_relu(double a) "
                  "{ return a > 0 ? a : 0; }"},
         {"clamp_i8",
-         "static double clamp_i8(double a) "
+         "static double exo2_ext_clamp_i8(double a) "
          "{ double r = __builtin_round(a); "
          "return r < -128.0 ? -128.0 : (r > 127.0 ? 127.0 : r); }"},
-        {"acc_scale", "static double acc_scale(double a, double b) "
+        {"acc_scale", "static double exo2_ext_acc_scale(double a, double b) "
                       "{ return a * b; }"},
-        {"select", "static double select(double c, double x, double y) "
-                   "{ return c >= 0 ? x : y; }"},
-        {"sqrt", "static double sqrt(double a) "
+        {"select",
+         "static double exo2_ext_select(double c, double x, double y) "
+         "{ return c >= 0 ? x : y; }"},
+        {"sqrt", "static double exo2_ext_sqrt(double a) "
                  "{ return __builtin_sqrt(a); }"},
-        {"abs", "static double abs(double a) "
+        {"abs", "static double exo2_ext_abs(double a) "
                 "{ return __builtin_fabs(a); }"},
     };
     return impls;
 }
 
+/** Support helpers for the native SIMD lowering, emitted once per
+ *  native translation unit. Mask counts are clamped so whole-vector
+ *  masked tiles (lane count larger than the register) behave like the
+ *  reference semantics; reductions accumulate in lane order, matching
+ *  the scalar reference loop (and so the interpreter) exactly. */
+const char*
+native_helpers_preamble()
+{
+    return R"(#include <immintrin.h>
+
+#if defined(__AVX2__)
+static inline __m256i exo2_m256_lt(int64_t m) {
+    int32_t c = m < 0 ? 0 : (m > 8 ? 8 : (int32_t)m);
+    return _mm256_cmpgt_epi32(_mm256_set1_epi32(c),
+                              _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+}
+static inline __m256i exo2_m256_range(int64_t l, int64_t m) {
+    return _mm256_andnot_si256(exo2_m256_lt(l), exo2_m256_lt(m));
+}
+static inline __m256i exo2_m256d_lt(int64_t m) {
+    long long c = m < 0 ? 0 : (m > 4 ? 4 : m);
+    return _mm256_cmpgt_epi64(_mm256_set1_epi64x(c),
+                              _mm256_setr_epi64x(0, 1, 2, 3));
+}
+static inline __m256i exo2_m256d_range(int64_t l, int64_t m) {
+    return _mm256_andnot_si256(exo2_m256d_lt(l), exo2_m256d_lt(m));
+}
+static inline void exo2_reduce_mm256_ps(float* dst, __m256 v) {
+    float t[8];
+    _mm256_storeu_ps(t, v);
+    for (int i = 0; i < 8; i++) dst[0] += t[i];
+}
+static inline void exo2_reduce_mm256_pd(double* dst, __m256d v) {
+    double t[4];
+    _mm256_storeu_pd(t, v);
+    for (int i = 0; i < 4; i++) dst[0] += t[i];
+}
+#endif /* __AVX2__ */
+#if defined(__AVX512F__)
+static inline __mmask16 exo2_k16_lt(int64_t m) {
+    int64_t c = m < 0 ? 0 : (m > 16 ? 16 : m);
+    return (__mmask16)((1u << c) - 1u);
+}
+static inline __mmask16 exo2_k16_range(int64_t l, int64_t m) {
+    return (__mmask16)(exo2_k16_lt(m) & (__mmask16)~exo2_k16_lt(l));
+}
+static inline __mmask8 exo2_k8_lt(int64_t m) {
+    int64_t c = m < 0 ? 0 : (m > 8 ? 8 : m);
+    return (__mmask8)((1u << c) - 1u);
+}
+static inline __mmask8 exo2_k8_range(int64_t l, int64_t m) {
+    return (__mmask8)(exo2_k8_lt(m) & (__mmask8)~exo2_k8_lt(l));
+}
+static inline void exo2_reduce_mm512_ps(float* dst, __m512 v) {
+    float t[16];
+    _mm512_storeu_ps(t, v);
+    for (int i = 0; i < 16; i++) dst[0] += t[i];
+}
+static inline void exo2_reduce_mm512_pd(double* dst, __m512d v) {
+    double t[8];
+    _mm512_storeu_pd(t, v);
+    for (int i = 0; i < 8; i++) dst[0] += t[i];
+}
+#endif /* __AVX512F__ */
+)";
+}
+
 }  // namespace
 
 std::string
-codegen_c(const ProcPtr& p)
+codegen_c(const ProcPtr& p, const CodegenOpts& opts)
 {
-    CGen g(p);
+    CGen g(p, opts);
     return g.run();
 }
 
-std::string
-codegen_c_unit(const ProcPtr& p)
+int
+codegen_max_vector_bytes(const ProcPtr& p)
 {
     std::vector<ProcPtr> procs;
     std::set<const Proc*> seen;
     collect_procs(p, &procs, &seen);
+    int mx = 0;
+    auto upd = [&](const MemoryPtr& m) {
+        if (m && m->is_vector() && m->vector_bytes() > mx)
+            mx = m->vector_bytes();
+    };
+    std::function<void(const StmtPtr&)> fs = [&](const StmtPtr& s) {
+        if (s->kind() == StmtKind::Alloc)
+            upd(s->mem());
+        for (const auto& c : s->body())
+            fs(c);
+        for (const auto& c : s->orelse())
+            fs(c);
+    };
+    for (const auto& q : procs) {
+        for (const auto& a : q->args())
+            upd(a.mem);
+        for (const auto& s : q->body_stmts())
+            fs(s);
+    }
+    return mx;
+}
+
+std::string
+codegen_c_unit(const ProcPtr& p, const CodegenOpts& opts)
+{
+    std::vector<ProcPtr> procs;
+    std::set<const Proc*> seen;
+    collect_procs(p, &procs, &seen);
+
+    // Native lowering is all-or-nothing per unit: engage only when the
+    // ISA budget covers the widest vector memory in use (a half-native
+    // unit would mix operand representations across instructions).
+    int required = opts.required_vector_bytes >= 0
+                       ? opts.required_vector_bytes
+                       : codegen_max_vector_bytes(p);
+    CodegenOpts eff = opts;
+    if (required == 0 || opts.native_vector_bytes < required)
+        eff.native_vector_bytes = 0;
 
     // Scan for configuration fields and extern functions.
     std::set<std::string> config_vars;
@@ -649,8 +1039,33 @@ codegen_c_unit(const ProcPtr& p)
         }
     }
 
+    // Generate non-instruction bodies first: their call sites decide
+    // which instructions still need the scalar helper function (no
+    // intrinsic snippet, or an operand the snippet cannot address).
+    std::set<const Proc*> fallback;
+    bool immintrin = false;
+    std::map<const Proc*, std::string> bodies;
+    for (const auto& q : procs) {
+        if (q->is_instr())
+            continue;
+        CGen g(q, eff, &fallback, &immintrin);
+        bodies[q.get()] = g.run();
+    }
+    std::vector<ProcPtr> helpers;
+    for (const auto& q : procs) {
+        if (!q->is_instr())
+            continue;
+        bool need = eff.native_vector_bytes == 0 ||
+                    !q->instr()->has_native_template() ||
+                    fallback.count(q.get()) > 0 || q == p;
+        if (need)
+            helpers.push_back(q);
+    }
+
     std::ostringstream out;
     out << "#include <stdbool.h>\n#include <stdint.h>\n\n";
+    if (eff.native_vector_bytes && immintrin)
+        out << native_helpers_preamble() << "\n";
     out << "/* Floor-semantics integer division / remainder: Index-typed\n"
            " * `/` and `%` of the object language round toward negative\n"
            " * infinity (remainder in [0, |b|)), unlike C's truncating\n"
@@ -681,20 +1096,24 @@ codegen_c_unit(const ProcPtr& p)
     if (!config_vars.empty())
         out << "\n";
 
+    // Scalar instruction helpers first (they are leaves), then the
+    // procedures in dependency order.
+    for (const auto& q : helpers) {
+        std::string hname = instr_helper_name(q);
+        ProcPtr emitq = hname != q->name() ? q->renamed(hname) : q;
+        out << codegen_c(emitq) << "\n";
+    }
     for (const auto& q : procs) {
-        if (q->is_instr() && q->instr()->c_template != q->name()) {
-            // The template names the C-level function; emit the
-            // semantics body under that name.
-            ProcPtr renamed = q->renamed(q->instr()->c_template);
-            out << codegen_c(renamed) << "\n";
-        } else {
-            out << codegen_c(q) << "\n";
-        }
+        if (q->is_instr())
+            continue;
+        out << bodies[q.get()] << "\n";
     }
 
     // Uniform entry point used by the in-process verification harness.
+    std::string entry_name =
+        p->is_instr() ? instr_helper_name(p) : p->name();
     out << "void exo2_run(void** argv) {\n";
-    out << "    " << p->name() << "(";
+    out << "    " << entry_name << "(";
     const auto& args = p->args();
     bool first = true;
     for (size_t i = 0; i < args.size(); i++) {

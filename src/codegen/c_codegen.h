@@ -23,6 +23,14 @@
  *    dimension, so strided (non-suffix) windows linearize correctly.
  *  - Duplicate local declarations in one scope (e.g. produced by
  *    unroll_loop copying an Alloc) are uniquified.
+ *
+ * Native SIMD mode (DESIGN.md §5): with CodegenOpts.native_vector_bytes
+ * set, vector-register buffers lower to `__m256`/`__m512d` values and
+ * instruction calls expand their InstrInfo intrinsic snippets in place.
+ * Any instruction without a snippet — and any call site whose operands
+ * do not satisfy a snippet's contract (unit-stride DRAM lanes, whole
+ * vector-register operands) — falls back to the scalar helper function,
+ * so native mode never changes which programs can be lowered.
  */
 
 #include <string>
@@ -31,9 +39,30 @@
 
 namespace exo2 {
 
+/** Options for the C backend. */
+struct CodegenOpts
+{
+    /**
+     * Widest vector ISA available to the emitted translation unit, in
+     * register bytes: 0 = portable scalar C (default), 32 = AVX2+FMA,
+     * 64 = AVX-512. Native lowering engages only when this covers every
+     * vector memory the procedure uses (a 64-byte-register proc under a
+     * 32-byte budget compiles fully scalar rather than half-native).
+     */
+    int native_vector_bytes = 0;
+
+    /**
+     * Caller-cached result of `codegen_max_vector_bytes(p)` for the
+     * proc being generated; -1 (default) makes codegen_c_unit compute
+     * it. Callers that already walked the proc (the JIT does, to pick
+     * compiler flags) pass it to avoid a second traversal.
+     */
+    int required_vector_bytes = -1;
+};
+
 /** Generate a self-contained C function for `p` (no preamble; see
  *  codegen_c_unit for a compilable translation unit). */
-std::string codegen_c(const ProcPtr& p);
+std::string codegen_c(const ProcPtr& p, const CodegenOpts& opts = {});
 
 /**
  * Generate a complete, compilable C translation unit for `p`:
@@ -50,7 +79,14 @@ std::string codegen_c(const ProcPtr& p);
  * This is what the differential-verification oracle compiles and runs
  * in-process (src/verify/).
  */
-std::string codegen_c_unit(const ProcPtr& p);
+std::string codegen_c_unit(const ProcPtr& p, const CodegenOpts& opts = {});
+
+/**
+ * Widest vector-register memory `p` (or any transitive callee) touches,
+ * in bytes; 0 when the procedure is purely scalar. The JIT uses this to
+ * pick compiler ISA flags in lockstep with the codegen native gate.
+ */
+int codegen_max_vector_bytes(const ProcPtr& p);
 
 /** Number of non-empty lines in the generated C (Figure 9a metric). */
 int codegen_c_lines(const ProcPtr& p);

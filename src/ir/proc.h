@@ -41,12 +41,30 @@ struct ProcArg
  */
 struct InstrInfo
 {
-    /** C template; `{arg}` interpolates argument spellings. */
+    /**
+     * C lowering template. Two forms:
+     *  - a substitutable C statement snippet containing `{arg}`
+     *    placeholders (one per formal argument name), expanded at each
+     *    call site by the native-SIMD backend — e.g.
+     *    `{dst} = _mm256_add_ps({a}, {b});`;
+     *  - a plain identifier (or empty): the name of a helper function
+     *    whose body is the instruction's scalar reference semantics.
+     * Instructions with a snippet still fall back to the scalar helper
+     * (emitted under the proc's own name) whenever native lowering is
+     * disabled or a call site cannot satisfy the snippet's operand
+     * contract (see DESIGN.md §5).
+     */
     std::string c_template;
     /** Issue cost in cycles on the owning machine. */
     double cycles = 1.0;
     /** Behaviour class: "load", "store", "arith", "fma", "config", ... */
     std::string instr_class = "arith";
+
+    /** Whether c_template is a substitutable snippet (vs a name). */
+    bool has_native_template() const
+    {
+        return c_template.find('{') != std::string::npos;
+    }
 };
 
 /** Records how a proc was derived from its parent (time coordinate). */

@@ -2,6 +2,7 @@
 
 #include "src/frontend/parser.h"
 #include "src/ir/errors.h"
+#include "src/util/strings.h"
 
 namespace exo2 {
 
@@ -28,6 +29,7 @@ struct InstrSpec
 {
     std::string name;
     std::string src;
+    std::string native;  ///< intrinsic snippet; empty = scalar helper
     double cycles;
     std::string cls;
 };
@@ -37,44 +39,190 @@ make_instr(const InstrSpec& spec)
 {
     ProcPtr body = parse_proc(spec.src);
     InstrInfo info;
-    info.c_template = spec.name;
+    // A native snippet carries `{arg}` placeholders; without one the
+    // template is just the helper-function name (scalar lowering).
+    info.c_template = spec.native.empty() ? spec.name : spec.native;
     info.cycles = spec.cycles;
     info.instr_class = spec.cls;
     return Proc::make(spec.name, body->args(), body->preds(),
                       body->body_stmts(), info);
 }
 
-std::string
-fmt(std::string tpl, const std::string& key, const std::string& value)
+/** Native (intrinsic) call-site snippets for one (ISA, precision).
+ *  Placeholders name the instr-proc formals: vector-register formals
+ *  expand to __m256/__m512 lvalues, DRAM formals to element pointers,
+ *  scalar formals to parenthesized C expressions. The exo2_* mask and
+ *  reduction helpers are emitted by codegen_c_unit's native preamble. */
+struct NativeTpls
 {
-    for (;;) {
-        auto pos = tpl.find(key);
-        if (pos == std::string::npos)
-            return tpl;
-        tpl.replace(pos, key.size(), value);
+    std::string load, store, load_pred, store_pred, broadcast, zero;
+    std::string add, sub, mul, fma, reduce_add, vabs, vneg, acc;
+    std::string m_broadcast, m_add, m_sub, m_mul, m_fma, m_abs, m_neg,
+        m_acc;
+    std::string r_load, r_store, r_broadcast, r_add, r_sub, r_mul, r_fma,
+        r_abs, r_neg, r_acc;
+};
+
+NativeTpls
+native_templates(bool w512, ScalarType t)
+{
+    bool f32 = (t == ScalarType::F32);
+    std::string sfx = f32 ? "ps" : "pd";
+    NativeTpls o;
+    if (!w512) {
+        // AVX2: vmaskmov for memory, blends for (emulated) masked ALU.
+        std::string p = "_mm256_";
+        auto fn = [&](const char* op) { return p + op + "_" + sfx; };
+        std::string cast = p + "castsi256_" + sfx;
+        std::string mk = f32 ? "exo2_m256_lt({m})" : "exo2_m256d_lt({m})";
+        std::string rk = f32 ? "exo2_m256_range({l}, {m})"
+                             : "exo2_m256d_range({l}, {m})";
+        std::string signc =
+            fn("set1") + (f32 ? "(-0.0f)" : "(-0.0)");
+        std::string absv = fn("andnot") + "(" + signc + ", {src})";
+        std::string negv = fn("xor") + "({src}, " + signc + ")";
+        auto blend = [&](const std::string& val, const std::string& k) {
+            return "{dst} = " + fn("blendv") + "({dst}, " + val + ", " +
+                   cast + "(" + k + "));";
+        };
+        auto mload = [&](const std::string& k) {
+            return "{ __m256i exo2_k = " + k + "; {dst} = " +
+                   fn("blendv") + "({dst}, " + fn("maskload") +
+                   "({src}, exo2_k), " + cast + "(exo2_k)); }";
+        };
+        o.load = "{dst} = " + fn("loadu") + "({src});";
+        o.store = fn("storeu") + "({dst}, {src});";
+        o.load_pred = mload(mk);
+        o.store_pred = fn("maskstore") + "({dst}, " + mk + ", {src});";
+        o.broadcast = "{dst} = " + fn("set1") + "({val});";
+        o.zero = "{dst} = " + fn("setzero") + "();";
+        o.add = "{dst} = " + fn("add") + "({a}, {b});";
+        o.sub = "{dst} = " + fn("sub") + "({a}, {b});";
+        o.mul = "{dst} = " + fn("mul") + "({a}, {b});";
+        o.fma = "{dst} = " + fn("fmadd") + "({a}, {b}, {dst});";
+        o.reduce_add = "exo2_reduce_mm256_" + sfx + "({dst}, {src});";
+        o.vabs = "{dst} = " + absv + ";";
+        o.vneg = "{dst} = " + negv + ";";
+        o.acc = "{dst} = " + fn("add") + "({dst}, {src});";
+        o.m_broadcast = blend(fn("set1") + "({val})", mk);
+        o.m_add = blend(fn("add") + "({a}, {b})", mk);
+        o.m_sub = blend(fn("sub") + "({a}, {b})", mk);
+        o.m_mul = blend(fn("mul") + "({a}, {b})", mk);
+        o.m_fma = blend(fn("fmadd") + "({a}, {b}, {dst})", mk);
+        o.m_abs = blend(absv, mk);
+        o.m_neg = blend(negv, mk);
+        o.m_acc = blend(fn("add") + "({dst}, {src})", mk);
+        o.r_load = mload(rk);
+        o.r_store = fn("maskstore") + "({dst}, " + rk + ", {src});";
+        o.r_broadcast = blend(fn("set1") + "({val})", rk);
+        o.r_add = blend(fn("add") + "({a}, {b})", rk);
+        o.r_sub = blend(fn("sub") + "({a}, {b})", rk);
+        o.r_mul = blend(fn("mul") + "({a}, {b})", rk);
+        o.r_fma = blend(fn("fmadd") + "({a}, {b}, {dst})", rk);
+        o.r_abs = blend(absv, rk);
+        o.r_neg = blend(negv, rk);
+        o.r_acc = blend(fn("add") + "({dst}, {src})", rk);
+        return o;
     }
+    // AVX-512: real mask registers; merge-masked forms reproduce the
+    // reference semantics (unselected lanes keep the old destination).
+    std::string p = "_mm512_";
+    auto fn = [&](const char* op) { return p + op + "_" + sfx; };
+    std::string mk = f32 ? "exo2_k16_lt({m})" : "exo2_k8_lt({m})";
+    std::string rk = f32 ? "exo2_k16_range({l}, {m})"
+                         : "exo2_k8_range({l}, {m})";
+    // AVX512F has no 512-bit float logic ops (those are DQ); spell
+    // abs/neg through the integer domain.
+    std::string absv, negv;
+    if (f32) {
+        absv = "_mm512_castsi512_ps(_mm512_and_epi32("
+               "_mm512_castps_si512({src}), "
+               "_mm512_set1_epi32(0x7fffffff)))";
+        negv = "_mm512_castsi512_ps(_mm512_xor_epi32("
+               "_mm512_castps_si512({src}), "
+               "_mm512_set1_epi32((int)0x80000000u)))";
+    } else {
+        absv = "_mm512_castsi512_pd(_mm512_and_epi64("
+               "_mm512_castpd_si512({src}), "
+               "_mm512_set1_epi64(0x7fffffffffffffffLL)))";
+        negv = "_mm512_castsi512_pd(_mm512_xor_epi64("
+               "_mm512_castpd_si512({src}), "
+               "_mm512_set1_epi64((long long)0x8000000000000000ULL)))";
+    }
+    auto mmov = [&](const std::string& val, const std::string& k) {
+        return "{dst} = " + fn("mask_mov") + "({dst}, " + k + ", " + val +
+               ");";
+    };
+    o.load = "{dst} = " + fn("loadu") + "({src});";
+    o.store = fn("storeu") + "({dst}, {src});";
+    o.load_pred =
+        "{dst} = " + fn("mask_loadu") + "({dst}, " + mk + ", {src});";
+    o.store_pred = fn("mask_storeu") + "({dst}, " + mk + ", {src});";
+    o.broadcast = "{dst} = " + fn("set1") + "({val});";
+    o.zero = "{dst} = " + fn("setzero") + "();";
+    o.add = "{dst} = " + fn("add") + "({a}, {b});";
+    o.sub = "{dst} = " + fn("sub") + "({a}, {b});";
+    o.mul = "{dst} = " + fn("mul") + "({a}, {b});";
+    o.fma = "{dst} = " + fn("fmadd") + "({a}, {b}, {dst});";
+    o.reduce_add = "exo2_reduce_mm512_" + sfx + "({dst}, {src});";
+    o.vabs = "{dst} = " + absv + ";";
+    o.vneg = "{dst} = " + negv + ";";
+    o.acc = "{dst} = " + fn("add") + "({dst}, {src});";
+    o.m_broadcast = mmov(fn("set1") + "({val})", mk);
+    o.m_add = "{dst} = " + fn("mask_add") + "({dst}, " + mk + ", {a}, {b});";
+    o.m_sub = "{dst} = " + fn("mask_sub") + "({dst}, " + mk + ", {a}, {b});";
+    o.m_mul = "{dst} = " + fn("mask_mul") + "({dst}, " + mk + ", {a}, {b});";
+    o.m_fma =
+        "{dst} = " + fn("mask3_fmadd") + "({a}, {b}, {dst}, " + mk + ");";
+    o.m_abs = mmov(absv, mk);
+    o.m_neg = mmov(negv, mk);
+    o.m_acc =
+        "{dst} = " + fn("mask_add") + "({dst}, " + mk + ", {dst}, {src});";
+    o.r_load =
+        "{dst} = " + fn("mask_loadu") + "({dst}, " + rk + ", {src});";
+    o.r_store = fn("mask_storeu") + "({dst}, " + rk + ", {src});";
+    o.r_broadcast = mmov(fn("set1") + "({val})", rk);
+    o.r_add = "{dst} = " + fn("mask_add") + "({dst}, " + rk + ", {a}, {b});";
+    o.r_sub = "{dst} = " + fn("mask_sub") + "({dst}, " + rk + ", {a}, {b});";
+    o.r_mul = "{dst} = " + fn("mask_mul") + "({dst}, " + rk + ", {a}, {b});";
+    o.r_fma =
+        "{dst} = " + fn("mask3_fmadd") + "({a}, {b}, {dst}, " + rk + ");";
+    o.r_abs = mmov(absv, rk);
+    o.r_neg = mmov(negv, rk);
+    o.r_acc =
+        "{dst} = " + fn("mask_add") + "({dst}, " + rk + ", {dst}, {src});";
+    return o;
 }
 
 /** Build the instruction set for (prefix, memory, precision, width). */
 VecInstrSet
 build_vec_set(const std::string& prefix, const std::string& mem,
-              ScalarType t, int w, bool predication, bool fma)
+              ScalarType t, int w, bool predication, bool fma,
+              bool predicated_alu)
 {
     VecInstrSet set;
     std::string T = type_name(t);
     std::string sfx = (t == ScalarType::F32) ? "ps" : "pd";
+    NativeTpls nat = native_templates(prefix == "mm512", t);
+    // Masked arithmetic without a predicated ALU is emulated by
+    // blending: one extra operation per masked instruction. Two-sided
+    // (range) masks cost one extra mask compare on every machine.
+    double mask_alu = predicated_alu ? 0.0 : 1.0;
+    double range_extra = 0.5;
     auto sub = [&](const char* tpl) {
         std::string s = tpl;
-        s = fmt(s, "{W}", std::to_string(w));
-        s = fmt(s, "{T}", T);
-        s = fmt(s, "{MEM}", mem);
+        s = replace_all(s, "{W}", std::to_string(w));
+        s = replace_all(s, "{T}", T);
+        s = replace_all(s, "{MEM}", mem);
         return s;
     };
-    auto I = [&](const std::string& op, const char* tpl, double cycles,
+    auto I = [&](const std::string& op, const char* tpl,
+                 const std::string& native, double cycles,
                  const std::string& cls) {
         InstrSpec spec;
         spec.name = prefix + "_" + op + "_" + sfx;
-        spec.src = fmt(sub(tpl), "{NAME}", spec.name);
+        spec.src = replace_all(sub(tpl), "{NAME}", spec.name);
+        spec.native = native;
         spec.cycles = cycles;
         spec.cls = cls;
         return make_instr(spec);
@@ -85,13 +233,13 @@ def {NAME}(dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ DRAM):
     for i in seq(0, {W}):
         dst[i] = src[i]
 )",
-                 1.0, "load");
+                 nat.load, 1.0, "load");
     set.store = I("storeu", R"(
 def {NAME}(dst: [{T}][{W}] @ DRAM, src: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         dst[i] = src[i]
 )",
-                  1.0, "store");
+                  nat.store, 1.0, "store");
     if (predication) {
         set.load_pred = I("maskz_loadu", R"(
 def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][m] @ DRAM):
@@ -99,77 +247,77 @@ def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][m] @ DRAM):
         if i < m:
             dst[i] = src[i]
 )",
-                          1.0, "load");
+                          nat.load_pred, 1.0, "load");
         set.store_pred = I("mask_storeu", R"(
 def {NAME}(m: size, dst: [{T}][m] @ DRAM, src: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i < m:
             dst[i] = src[i]
 )",
-                           1.0, "store");
+                           nat.store_pred, 1.0, "store");
     }
     set.broadcast = I("set1", R"(
 def {NAME}(dst: [{T}][{W}] @ {MEM}, val: {T}):
     for i in seq(0, {W}):
         dst[i] = val
 )",
-                      1.0, "broadcast");
+                      nat.broadcast, 1.0, "broadcast");
     set.zero = I("setzero", R"(
 def {NAME}(dst: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         dst[i] = 0.0
 )",
-                 1.0, "arith");
+                 nat.zero, 1.0, "arith");
     set.add = I("add", R"(
 def {NAME}(dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         dst[i] = a[i] + b[i]
 )",
-                1.0, "arith");
+                nat.add, 1.0, "arith");
     set.sub = I("sub", R"(
 def {NAME}(dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         dst[i] = a[i] - b[i]
 )",
-                1.0, "arith");
+                nat.sub, 1.0, "arith");
     set.mul = I("mul", R"(
 def {NAME}(dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         dst[i] = a[i] * b[i]
 )",
-                1.0, "arith");
+                nat.mul, 1.0, "arith");
     if (fma) {
         set.fma = I("fmadd", R"(
 def {NAME}(a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}, dst: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         dst[i] += a[i] * b[i]
 )",
-                    1.0, "fma");
+                    nat.fma, 1.0, "fma");
     }
     set.reduce_add = I("reduce_add", R"(
 def {NAME}(dst: [{T}][1] @ DRAM, src: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         dst[0] += src[i]
 )",
-                       4.0, "reduce");
+                       nat.reduce_add, 4.0, "reduce");
     set.vabs = I("abs", R"(
 def {NAME}(dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         dst[i] = abs(src[i])
 )",
-                 1.0, "arith");
+                 nat.vabs, 1.0, "arith");
     set.vneg = I("neg", R"(
 def {NAME}(dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         dst[i] = -src[i]
 )",
-                 1.0, "arith");
+                 nat.vneg, 1.0, "arith");
     set.acc = I("addacc", R"(
 def {NAME}(dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         dst[i] += src[i]
 )",
-                1.0, "arith");
+                nat.acc, 1.0, "arith");
     if (predication) {
         set.m_broadcast = I("maskz_set1", R"(
 def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, val: {T}):
@@ -177,28 +325,28 @@ def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, val: {T}):
         if i < m:
             dst[i] = val
 )",
-                            1.0, "broadcast");
+                            nat.m_broadcast, 1.0 + mask_alu, "broadcast");
         set.m_add = I("maskz_add", R"(
 def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i < m:
             dst[i] = a[i] + b[i]
 )",
-                      1.0, "arith");
+                      nat.m_add, 1.0 + mask_alu, "arith");
         set.m_sub = I("maskz_sub", R"(
 def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i < m:
             dst[i] = a[i] - b[i]
 )",
-                      1.0, "arith");
+                      nat.m_sub, 1.0 + mask_alu, "arith");
         set.m_mul = I("maskz_mul", R"(
 def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i < m:
             dst[i] = a[i] * b[i]
 )",
-                      1.0, "arith");
+                      nat.m_mul, 1.0 + mask_alu, "arith");
         if (fma) {
             set.m_fma = I("mask_fmadd", R"(
 def {NAME}(m: size, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}, dst: [{T}][{W}] @ {MEM}):
@@ -206,7 +354,7 @@ def {NAME}(m: size, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}, dst: [{T}][{W}
         if i < m:
             dst[i] += a[i] * b[i]
 )",
-                          1.0, "fma");
+                          nat.m_fma, 1.0 + mask_alu, "fma");
         }
         set.m_abs = I("maskz_abs", R"(
 def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
@@ -214,21 +362,21 @@ def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
         if i < m:
             dst[i] = abs(src[i])
 )",
-                      1.0, "arith");
+                      nat.m_abs, 1.0 + mask_alu, "arith");
         set.m_neg = I("maskz_neg", R"(
 def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i < m:
             dst[i] = -src[i]
 )",
-                      1.0, "arith");
+                      nat.m_neg, 1.0 + mask_alu, "arith");
         set.m_acc = I("mask_addacc", R"(
 def {NAME}(m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i < m:
             dst[i] += src[i]
 )",
-                      1.0, "arith");
+                      nat.m_acc, 1.0 + mask_alu, "arith");
         // Range-masked (two-sided) forms for triangular guards. A real
         // ISA realizes these with one extra mask-register compare.
         set.r_load = I("rmask_loadu", R"(
@@ -237,42 +385,43 @@ def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][m] @ DRAM):
         if i >= l and i < m:
             dst[i] = src[i]
 )",
-                       1.0, "load");
+                       nat.r_load, 1.0 + range_extra, "load");
         set.r_store = I("rmask_storeu", R"(
 def {NAME}(l: size, m: size, dst: [{T}][m] @ DRAM, src: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i >= l and i < m:
             dst[i] = src[i]
 )",
-                        1.0, "store");
+                        nat.r_store, 1.0 + range_extra, "store");
         set.r_broadcast = I("rmask_set1", R"(
 def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, val: {T}):
     for i in seq(0, {W}):
         if i >= l and i < m:
             dst[i] = val
 )",
-                            1.0, "broadcast");
+                            nat.r_broadcast, 1.0 + mask_alu + range_extra,
+                            "broadcast");
         set.r_add = I("rmask_add", R"(
 def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i >= l and i < m:
             dst[i] = a[i] + b[i]
 )",
-                      1.0, "arith");
+                      nat.r_add, 1.0 + mask_alu + range_extra, "arith");
         set.r_sub = I("rmask_sub", R"(
 def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i >= l and i < m:
             dst[i] = a[i] - b[i]
 )",
-                      1.0, "arith");
+                      nat.r_sub, 1.0 + mask_alu + range_extra, "arith");
         set.r_mul = I("rmask_mul", R"(
 def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i >= l and i < m:
             dst[i] = a[i] * b[i]
 )",
-                      1.0, "arith");
+                      nat.r_mul, 1.0 + mask_alu + range_extra, "arith");
         if (fma) {
             set.r_fma = I("rmask_fmadd", R"(
 def {NAME}(l: size, m: size, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}, dst: [{T}][{W}] @ {MEM}):
@@ -280,7 +429,7 @@ def {NAME}(l: size, m: size, a: [{T}][{W}] @ {MEM}, b: [{T}][{W}] @ {MEM}, dst: 
         if i >= l and i < m:
             dst[i] += a[i] * b[i]
 )",
-                          1.0, "fma");
+                          nat.r_fma, 1.0 + mask_alu + range_extra, "fma");
         }
         set.r_abs = I("rmask_abs", R"(
 def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
@@ -288,21 +437,21 @@ def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
         if i >= l and i < m:
             dst[i] = abs(src[i])
 )",
-                      1.0, "arith");
+                      nat.r_abs, 1.0 + mask_alu + range_extra, "arith");
         set.r_neg = I("rmask_neg", R"(
 def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i >= l and i < m:
             dst[i] = -src[i]
 )",
-                      1.0, "arith");
+                      nat.r_neg, 1.0 + mask_alu + range_extra, "arith");
         set.r_acc = I("rmask_addacc", R"(
 def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
     for i in seq(0, {W}):
         if i >= l and i < m:
             dst[i] += src[i]
 )",
-                      1.0, "arith");
+                      nat.r_acc, 1.0 + mask_alu + range_extra, "arith");
     }
     return set;
 }
@@ -310,15 +459,18 @@ def {NAME}(l: size, m: size, dst: [{T}][{W}] @ {MEM}, src: [{T}][{W}] @ {MEM}):
 }  // namespace
 
 Machine::Machine(std::string name, MemoryPtr mem, bool predication,
-                 bool fma)
+                 bool fma, bool predicated_alu)
     : name_(std::move(name)), mem_(std::move(mem)),
-      predication_(predication), fma_(fma)
+      predication_(predication), fma_(fma),
+      predicated_alu_(predicated_alu)
 {
     std::string prefix = (mem_->vector_bytes() == 64) ? "mm512" : "mm256";
     f32_ = build_vec_set(prefix, mem_->name(), ScalarType::F32,
-                         vec_width(ScalarType::F32), predication_, fma_);
+                         vec_width(ScalarType::F32), predication_, fma_,
+                         predicated_alu_);
     f64_ = build_vec_set(prefix, mem_->name(), ScalarType::F64,
-                         vec_width(ScalarType::F64), predication_, fma_);
+                         vec_width(ScalarType::F64), predication_, fma_,
+                         predicated_alu_);
 }
 
 int
@@ -356,10 +508,10 @@ Machine::all_instrs() const
 const Machine&
 machine_avx2()
 {
-    // AVX2 has vmaskmov loads/stores; masked arithmetic is emulated by
-    // blending (priced identically in the simulator).
+    // AVX2 has vmaskmov loads/stores, but no predicated ALU: masked
+    // arithmetic is emulated by blending (and priced as such).
     static Machine m("AVX2", mem_avx2(), /*predication=*/true,
-                     /*fma=*/true);
+                     /*fma=*/true, /*predicated_alu=*/false);
     return m;
 }
 
@@ -367,7 +519,7 @@ const Machine&
 machine_avx512()
 {
     static Machine m("AVX512", mem_avx512(), /*predication=*/true,
-                     /*fma=*/true);
+                     /*fma=*/true, /*predicated_alu=*/true);
     return m;
 }
 

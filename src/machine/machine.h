@@ -66,12 +66,19 @@ struct VecInstrSet
 class Machine
 {
   public:
-    Machine(std::string name, MemoryPtr mem, bool predication, bool fma);
+    Machine(std::string name, MemoryPtr mem, bool predication, bool fma,
+            bool predicated_alu);
 
     const std::string& name() const { return name_; }
     const MemoryPtr& mem_type() const { return mem_; }
     bool supports_predication() const { return predication_; }
     bool has_fma() const { return fma_; }
+
+    /** Whether the ALU executes masked arithmetic natively (AVX-512
+     *  mask registers). Machines without it (AVX2) emulate masked
+     *  arithmetic by blending, which the cost model prices as an extra
+     *  operation per masked instruction. */
+    bool has_predicated_alu() const { return predicated_alu_; }
 
     /** Lanes per vector register for an element type. */
     int vec_width(ScalarType t) const;
@@ -87,6 +94,7 @@ class Machine
     MemoryPtr mem_;
     bool predication_;
     bool fma_;
+    bool predicated_alu_;
     VecInstrSet f32_;
     VecInstrSet f64_;
 };

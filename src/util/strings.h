@@ -1,0 +1,41 @@
+#ifndef EXO2_UTIL_STRINGS_H_
+#define EXO2_UTIL_STRINGS_H_
+
+/**
+ * @file
+ * Small string utilities shared across layers.
+ */
+
+#include <string>
+
+namespace exo2 {
+
+/**
+ * Replace every occurrence of `key` in `tpl` with `value`, single
+ * pass: replacements are never rescanned, so `value` may safely
+ * contain `key` (or other placeholder-looking text). Both the machine
+ * library's template instantiation ({W}/{T}/{MEM}/{NAME}) and the C
+ * backend's intrinsic-snippet expansion ({dst}/{src}/...) go through
+ * this helper.
+ */
+inline std::string
+replace_all(const std::string& tpl, const std::string& key,
+            const std::string& value)
+{
+    std::string out;
+    size_t pos = 0;
+    for (;;) {
+        size_t f = tpl.find(key, pos);
+        if (f == std::string::npos) {
+            out.append(tpl, pos, std::string::npos);
+            return out;
+        }
+        out.append(tpl, pos, f - pos);
+        out += value;
+        pos = f + key.size();
+    }
+}
+
+}  // namespace exo2
+
+#endif  // EXO2_UTIL_STRINGS_H_

@@ -1,8 +1,12 @@
 #include "src/verify/cjit.h"
 
+#include <dirent.h>
 #include <dlfcn.h>
 #include <unistd.h>
 
+#include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -126,81 +130,15 @@ struct NativeBuf
     }
 };
 
-}  // namespace
-
-CompiledProc::CompiledProc(const ProcPtr& p) : proc_(p)
+/** Marshal `args`, call `entry` `iters` times, unmarshal, and return
+ *  the wall-clock seconds spent inside the calls. */
+double
+run_marshalled(void (*entry)(void**), const ProcPtr& proc,
+               const std::vector<RunArg>& args, int iters)
 {
-    src_ = codegen_c_unit(p);
-
-    char tmpl[] = "/tmp/exo2_jit_XXXXXX";
-    char* dir = mkdtemp(tmpl);
-    if (!dir)
-        throw VerifyError("mkdtemp failed");
-    dir_ = dir;
-
-    std::string c_path = dir_ + "/kernel.c";
-    std::string so_path = dir_ + "/kernel.so";
-    std::string err_path = dir_ + "/cc.err";
-    {
-        std::ofstream out(c_path);
-        out << src_;
-    }
-
-    const char* cc = std::getenv("CC");
-    std::string cmd = std::string(cc && *cc ? cc : "cc") +
-                      " -O1 -fPIC -shared -fno-builtin -ffp-contract=off"
-                      " -fno-math-errno -w -o " +
-                      so_path + " " + c_path + " 2> " + err_path;
-    // The destructor never runs when the constructor throws, so clean
-    // the temp directory here on every failure path (minimization
-    // replays compile often enough to matter for /tmp).
-    auto fail = [&](const std::string& msg) {
-        std::string full = msg;
-        if (handle_) {
-            dlclose(handle_);
-            handle_ = nullptr;
-        }
-        unlink(c_path.c_str());
-        unlink(so_path.c_str());
-        unlink(err_path.c_str());
-        rmdir(dir_.c_str());
-        dir_.clear();
-        throw VerifyError(full);
-    };
-    int rc = std::system(cmd.c_str());
-    if (rc != 0) {
-        fail("C compilation failed for proc '" + p->name() + "':\n" +
-             read_file(err_path) + "\n--- generated source ---\n" + src_);
-    }
-
-    handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
-    if (!handle_) {
-        const char* err = dlerror();  // clears the error state
-        fail("dlopen failed: " + std::string(err ? err : "unknown"));
-    }
-    entry_ = reinterpret_cast<void (*)(void**)>(dlsym(handle_, "exo2_run"));
-    if (!entry_)
-        fail("entry point exo2_run not found in " + so_path);
-}
-
-CompiledProc::~CompiledProc()
-{
-    if (handle_)
-        dlclose(handle_);
-    if (!dir_.empty()) {
-        unlink((dir_ + "/kernel.c").c_str());
-        unlink((dir_ + "/kernel.so").c_str());
-        unlink((dir_ + "/cc.err").c_str());
-        rmdir(dir_.c_str());
-    }
-}
-
-void
-CompiledProc::run(const std::vector<RunArg>& args) const
-{
-    const auto& formals = proc_->args();
+    const auto& formals = proc->args();
     if (formals.size() != args.size())
-        throw VerifyError("run: arity mismatch for '" + proc_->name() +
+        throw VerifyError("run: arity mismatch for '" + proc->name() +
                           "'");
 
     // Scalar slots must stay alive across the call; one 8-byte slot per
@@ -259,7 +197,10 @@ CompiledProc::run(const std::vector<RunArg>& args) const
         }
     }
 
-    entry_(argv.data());
+    auto t0 = std::chrono::steady_clock::now();
+    for (int it = 0; it < iters; it++)
+        entry(argv.data());
+    auto t1 = std::chrono::steady_clock::now();
 
     for (size_t i = 0; i < args.size(); i++) {
         if (args[i].kind != RunArg::Kind::Buf)
@@ -267,6 +208,178 @@ CompiledProc::run(const std::vector<RunArg>& args) const
         bufs[i].check_guards(formals[i].name);
         bufs[i].marshal_out();
     }
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+bool
+cjit_cpu_supports(NativeIsa isa)
+{
+    if (isa == NativeIsa::Scalar)
+        return true;
+#if defined(__x86_64__) || defined(__i386__)
+    if (isa == NativeIsa::Avx2)
+        return __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma");
+    return __builtin_cpu_supports("avx512f");
+#else
+    return false;
+#endif
+}
+
+NativeIsa
+cjit_env_isa()
+{
+    const char* e = std::getenv("EXO2_NATIVE_ISA");
+    std::string v = e ? e : "";
+    for (char& c : v)
+        c = static_cast<char>(tolower(static_cast<unsigned char>(c)));
+    if (v.empty() || v == "scalar" || v == "off" || v == "0")
+        return NativeIsa::Scalar;
+    if (v == "auto" || v == "native") {
+        if (cjit_cpu_supports(NativeIsa::Avx512))
+            return NativeIsa::Avx512;
+        if (cjit_cpu_supports(NativeIsa::Avx2))
+            return NativeIsa::Avx2;
+        return NativeIsa::Scalar;
+    }
+    if (v == "avx2" || v == "avx512") {
+        NativeIsa isa =
+            v == "avx2" ? NativeIsa::Avx2 : NativeIsa::Avx512;
+        if (!cjit_cpu_supports(isa)) {
+            throw VerifyError("EXO2_NATIVE_ISA=" + v +
+                              " but the CPU does not support it (use "
+                              "'auto' for runtime detection)");
+        }
+        return isa;
+    }
+    throw VerifyError("unrecognized EXO2_NATIVE_ISA value '" + v +
+                      "' (expected scalar, avx2, avx512, or auto)");
+}
+
+namespace {
+
+/** Recursively delete `path` (the compiler may leave files — or even
+ *  driver temp subdirectories — beyond the ones we created). */
+void
+remove_tree(const std::string& path)
+{
+    if (DIR* d = opendir(path.c_str())) {
+        while (struct dirent* ent = readdir(d)) {
+            std::string name = ent->d_name;
+            if (name == "." || name == "..")
+                continue;
+            std::string child = path + "/" + name;
+            if (unlink(child.c_str()) != 0 && errno == EISDIR)
+                remove_tree(child);
+        }
+        closedir(d);
+    }
+    rmdir(path.c_str());
+}
+
+}  // namespace
+
+void
+TempDir::remove()
+{
+    if (path_.empty())
+        return;
+    remove_tree(path_);
+    path_.clear();
+}
+
+CompiledProc::CompiledProc(const ProcPtr& p)
+    : CompiledProc(p, cjit_env_isa()) {}
+
+CompiledProc::CompiledProc(const ProcPtr& p, NativeIsa isa) : proc_(p)
+{
+    // Validate explicit requests like the env path does: compiling for
+    // an ISA the CPU lacks would SIGILL on the first run() instead of
+    // failing with a diagnostic.
+    if (!cjit_cpu_supports(isa)) {
+        throw VerifyError(
+            "requested native ISA is not supported by this CPU (use "
+            "cjit_cpu_supports() to probe first)");
+    }
+    int avail = isa == NativeIsa::Avx512 ? 64
+                : isa == NativeIsa::Avx2 ? 32
+                                         : 0;
+    int required = codegen_max_vector_bytes(p);
+    native_ = required > 0 && avail >= required;
+
+    CodegenOpts opts;
+    opts.native_vector_bytes = avail;
+    opts.required_vector_bytes = required;  // avoid a second proc walk
+    src_ = codegen_c_unit(p, opts);
+
+    char tmpl[] = "/tmp/exo2_jit_XXXXXX";
+    char* dir = mkdtemp(tmpl);
+    if (!dir)
+        throw VerifyError("mkdtemp failed");
+    // From here on the TempDir member owns cleanup: its destructor
+    // runs on every exit path, including exceptions thrown below
+    // (~CompiledProc never runs when the constructor throws, but
+    // fully-constructed members are still destroyed).
+    dir_ = TempDir(dir);
+
+    std::string c_path = dir_.path() + "/kernel.c";
+    std::string so_path = dir_.path() + "/kernel.so";
+    std::string err_path = dir_.path() + "/cc.err";
+    {
+        std::ofstream out(c_path);
+        out << src_;
+    }
+
+    std::string isa_flags;
+    if (native_) {
+        isa_flags = required >= 64 ? " -mavx512f -mavx2 -mfma"
+                                   : " -mavx2 -mfma";
+    }
+    const char* cc = std::getenv("CC");
+    std::string cmd = std::string(cc && *cc ? cc : "cc") +
+                      " -O1 -fPIC -shared -fno-builtin -ffp-contract=off"
+                      " -fno-math-errno -w" +
+                      isa_flags + " -o " + so_path + " " + c_path +
+                      " 2> " + err_path;
+    int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+        throw VerifyError("C compilation failed for proc '" + p->name() +
+                          "':\n" + read_file(err_path) +
+                          "\n--- generated source ---\n" + src_);
+    }
+
+    handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!handle_) {
+        const char* err = dlerror();  // clears the error state
+        throw VerifyError("dlopen failed: " +
+                          std::string(err ? err : "unknown"));
+    }
+    entry_ = reinterpret_cast<void (*)(void**)>(dlsym(handle_, "exo2_run"));
+    if (!entry_) {
+        dlclose(handle_);
+        handle_ = nullptr;
+        throw VerifyError("entry point exo2_run not found in " + so_path);
+    }
+}
+
+CompiledProc::~CompiledProc()
+{
+    if (handle_)
+        dlclose(handle_);
+}
+
+void
+CompiledProc::run(const std::vector<RunArg>& args) const
+{
+    run_marshalled(entry_, proc_, args, 1);
+}
+
+double
+CompiledProc::time_run(const std::vector<RunArg>& args, int iters) const
+{
+    return run_marshalled(entry_, proc_, args, iters);
 }
 
 }  // namespace verify

@@ -14,6 +14,14 @@
  * canary-filled guard zones on both sides, so out-of-bounds writes by
  * miscompiled code are detected instead of corrupting the test
  * process.
+ *
+ * Native SIMD (DESIGN.md §5): the ISA the generated C may target is
+ * chosen per CompiledProc. The default comes from `EXO2_NATIVE_ISA`
+ * ("scalar"/unset, "avx2", "avx512", or "auto" for cpuid detection);
+ * explicit requests are validated against the running CPU. When the
+ * ISA covers the procedure's vector memories the unit is generated
+ * with intrinsic templates and compiled with `-mavx2 -mfma` /
+ * `-mavx512f`; otherwise it compiles as portable scalar C.
  */
 
 #include <stdexcept>
@@ -36,14 +44,58 @@ class VerifyError : public std::runtime_error
         : std::runtime_error("VerifyError: " + msg) {}
 };
 
+/** Instruction-set ceiling for generated native code. */
+enum class NativeIsa { Scalar, Avx2, Avx512 };
+
+/** Resolve `EXO2_NATIVE_ISA` against the running CPU: unset/"scalar"
+ *  gives Scalar, "auto" the best supported ISA, and an explicit
+ *  "avx2"/"avx512" throws VerifyError when the CPU lacks it. */
+NativeIsa cjit_env_isa();
+
+/** Whether the running CPU can execute code for `isa`. */
+bool cjit_cpu_supports(NativeIsa isa);
+
+/** An owned temporary directory, recursively removed on destruction
+ *  (so JIT scratch files are reclaimed on success *and* on every
+ *  failure path, including constructor throws). */
+class TempDir
+{
+  public:
+    TempDir() = default;
+    explicit TempDir(std::string path) : path_(std::move(path)) {}
+    ~TempDir() { remove(); }
+
+    TempDir(const TempDir&) = delete;
+    TempDir& operator=(const TempDir&) = delete;
+    TempDir& operator=(TempDir&& other) noexcept
+    {
+        remove();
+        path_ = std::move(other.path_);
+        other.path_.clear();
+        return *this;
+    }
+
+    const std::string& path() const { return path_; }
+
+  private:
+    void remove();
+
+    std::string path_;
+};
+
 /** A procedure compiled to native code and loaded in-process. */
 class CompiledProc
 {
   public:
-    /** Generates, compiles, and loads `p`. Throws VerifyError when the
-     *  compiler rejects the generated C (the error output and the
-     *  source are included in the message). */
+    /** Generates, compiles, and loads `p` with the environment-selected
+     *  ISA (`cjit_env_isa()`). Throws VerifyError when the compiler
+     *  rejects the generated C (the error output and the source are
+     *  included in the message). */
     explicit CompiledProc(const ProcPtr& p);
+
+    /** Same, with an explicit ISA ceiling. */
+    CompiledProc(const ProcPtr& p, NativeIsa isa);
+
     ~CompiledProc();
 
     CompiledProc(const CompiledProc&) = delete;
@@ -54,13 +106,23 @@ class CompiledProc
      *  call. Throws VerifyError if a guard zone was overwritten. */
     void run(const std::vector<RunArg>& args) const;
 
+    /** Benchmark hook: marshal once, call the entry point `iters`
+     *  times, and return the wall-clock seconds spent in the calls
+     *  (guard zones are still checked and outputs marshalled back). */
+    double time_run(const std::vector<RunArg>& args, int iters) const;
+
     /** The generated translation unit (for diagnostics). */
     const std::string& source() const { return src_; }
+
+    /** Whether the loaded code was generated with native SIMD
+     *  intrinsics (false = portable scalar C). */
+    bool is_native() const { return native_; }
 
   private:
     ProcPtr proc_;
     std::string src_;
-    std::string dir_;
+    TempDir dir_;
+    bool native_ = false;
     void* handle_ = nullptr;
     void (*entry_)(void**) = nullptr;
 };

@@ -83,6 +83,59 @@ TEST(CostSim, VectorizationPaysOff)
     EXPECT_LT(naive / fast, 32.0);
 }
 
+TEST(CostSim, MaskedArithmeticPricedByPredicationSupport)
+{
+    // AVX2 has no predicated ALU: masked arithmetic is emulated by
+    // blending and must cost more than the unmasked form. AVX-512
+    // executes masked arithmetic natively, so only the two-sided
+    // (range) masks pay — one extra mask-register compare, which AVX2
+    // pays on top of the blend.
+    for (ScalarType t : {ScalarType::F32, ScalarType::F64}) {
+        const VecInstrSet& a2 = machine_avx2().instrs(t);
+        const VecInstrSet& a5 = machine_avx512().instrs(t);
+        EXPECT_FALSE(machine_avx2().has_predicated_alu());
+        EXPECT_TRUE(machine_avx512().has_predicated_alu());
+
+        EXPECT_GT(a2.m_add->instr()->cycles, a2.add->instr()->cycles);
+        EXPECT_GT(a2.m_fma->instr()->cycles, a2.fma->instr()->cycles);
+        EXPECT_GT(a2.r_add->instr()->cycles, a2.m_add->instr()->cycles);
+
+        EXPECT_EQ(a5.m_add->instr()->cycles, a5.add->instr()->cycles);
+        EXPECT_EQ(a5.m_fma->instr()->cycles, a5.fma->instr()->cycles);
+        EXPECT_GT(a5.r_add->instr()->cycles, a5.m_add->instr()->cycles);
+
+        // The emulation penalty is what separates the two machines.
+        EXPECT_GT(a2.m_mul->instr()->cycles, a5.m_mul->instr()->cycles);
+
+        // Masked loads/stores are native on both (vmaskmov / k-masks):
+        // no blend penalty, range forms still pay the extra compare.
+        EXPECT_EQ(a2.load_pred->instr()->cycles,
+                  a5.load_pred->instr()->cycles);
+        EXPECT_GT(a2.r_load->instr()->cycles,
+                  a2.load_pred->instr()->cycles);
+    }
+}
+
+TEST(CostSim, MaskedTailCheaperOnPredicatedAluMachine)
+{
+    // End-to-end: a ragged saxpy tail runs masked instructions every
+    // iteration; with identical cache behaviour the blend-emulating
+    // machine must simulate slower per masked op. Compare the masked
+    // instruction cost contribution directly via a tiny all-masked
+    // schedule (n < vector width forces the masked path to do all the
+    // work).
+    const auto& k = kernels::find_kernel("saxpy");
+    ProcPtr a2 = sched::optimize_level_1(
+        k.proc, k.proc->find_loop("i"), k.prec, machine_avx2(), 1);
+    ProcPtr a5 = sched::optimize_level_1(
+        k.proc, k.proc->find_loop("i"), k.prec, machine_avx512(), 1);
+    CostConfig cfg;
+    cfg.warm = false;
+    double c2 = simulate_cost_named(a2, {{"n", 5}}, cfg).cycles;
+    double c5 = simulate_cost_named(a5, {{"n", 5}}, cfg).cycles;
+    EXPECT_GT(c2, c5);
+}
+
 TEST(CostSim, DispatchOverheadOnlyMattersWhenSmall)
 {
     const auto& k = kernels::find_kernel("scopy");
