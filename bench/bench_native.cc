@@ -27,6 +27,8 @@
 #include "src/sched/halide.h"
 #include "src/verify/verify.h"
 
+#include "bench/bench_util.h"
+
 namespace {
 
 using namespace exo2;
@@ -43,26 +45,15 @@ struct Case
     double flops;  ///< useful floating-point ops per call
 };
 
-std::string
-env_str(const SizeEnv& env)
-{
-    std::string s;
-    for (const auto& [k, v] : env)
-        s += (s.empty() ? "" : ", ") + k + "=" + std::to_string(v);
-    return s;
-}
+using bench::env_str;
 
-/** GFLOP/s of one build: calibrate an iteration count targeting
- *  ~150 ms of kernel time, then measure. */
+/** GFLOP/s of one build (CompiledProc::time_per_call calibrates an
+ *  iteration count targeting ~150 ms of kernel time). */
 double
 measure_gflops(const CompiledProc& cp, const OracleInputs& in,
                double flops)
 {
-    double once = cp.time_run(in.args, 1);  // also warms caches
-    int iters = static_cast<int>(0.15 / std::max(once, 1e-7));
-    iters = std::max(4, std::min(iters, 200000));
-    double secs = cp.time_run(in.args, iters);
-    return flops * iters / std::max(secs, 1e-12) / 1e9;
+    return flops / std::max(cp.time_per_call(in.args), 1e-12) / 1e9;
 }
 
 }  // namespace

@@ -45,6 +45,38 @@ cycles(const ProcPtr& p, const std::map<std::string, int64_t>& sizes,
     return simulate_cost_named(p, sizes, cfg).cycles;
 }
 
+/** Render a size environment as `"M=192, N=192"`. */
+inline std::string
+env_str(const std::map<std::string, int64_t>& env)
+{
+    std::string s;
+    for (const auto& [k, v] : env)
+        s += (s.empty() ? "" : ", ") + k + "=" + std::to_string(v);
+    return s;
+}
+
+/** Minimal JSON string escaping: quotes, backslashes, and control
+ *  characters (newlines included, as unicode escapes), so embedded
+ *  schedule scripts survive the round trip through a JSON value. */
+inline std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
 }  // namespace bench
 }  // namespace exo2
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Autotune smoke check, ctest-invocable (see CMakeLists
+# EXO2_ENABLE_AUTOTUNE): tune one small kernel end-to-end — beam
+# search, JIT-measured re-rank, tri-oracle validation, script replay —
+# and fail unless the winner beats the naive cost, validates, and
+# replays bit-for-bit. This is `bench_autotune --smoke`; the full
+# five-kernel comparison against the hand-written sched/ library is
+# `bench_autotune` (see bench/README.md).
+#
+# Usage: scripts/check_autotune.sh <bench_autotune binary>
+set -euo pipefail
+
+bench="${1:?usage: check_autotune.sh <bench_autotune binary>}"
+
+# The tuner JIT-compiles candidates in-process (src/verify/cjit.cc
+# honors $CC, default cc); pin and export it so the smoke check
+# exercises the same toolchain as the rest of CI.
+: "${CC:=cc}"
+export CC
+
+"$bench" --smoke
+echo "autotune smoke OK"

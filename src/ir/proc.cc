@@ -1,8 +1,10 @@
 #include "src/ir/proc.h"
 
 #include <atomic>
+#include <cstring>
 
 #include "src/ir/errors.h"
+#include "src/ir/interner.h"
 
 namespace exo2 {
 
@@ -114,6 +116,43 @@ bool
 procs_equivalent(const ProcPtr& a, const ProcPtr& b)
 {
     return a && b && a->root_uid() == b->root_uid();
+}
+
+uint64_t
+proc_digest(const ProcPtr& p)
+{
+    if (!p)
+        return 0;
+    if (p->digest_.valid)
+        return p->digest_.v;
+    uint64_t h = 0x45584F32u;  // "EXO2"
+    for (const auto& a : p->args()) {
+        h = hash_combine(h, hash_str(a.name));
+        h = hash_combine(h, static_cast<uint64_t>(a.type));
+        h = hash_combine(h, a.is_size ? 1u : 0u);
+        h = hash_combine(h, a.is_window ? 1u : 0u);
+        h = hash_combine(h, a.mem ? hash_str(a.mem->name()) : 0u);
+        for (const auto& d : a.dims)
+            h = hash_combine(h, d ? d->structural_hash() : 0u);
+        h = hash_mix(h);
+    }
+    for (const auto& pr : p->preds())
+        h = hash_combine(h, pr ? pr->structural_hash() : 0u);
+    if (p->instr()) {
+        h = hash_combine(h, hash_str(p->instr()->c_template));
+        h = hash_combine(h, hash_str(p->instr()->instr_class));
+        // The simulator charges instr()->cycles per call, so two procs
+        // differing only in instruction pricing must not share a
+        // digest (the cost-result memo keys on it).
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(p->instr()->cycles), "");
+        memcpy(&bits, &p->instr()->cycles, sizeof(bits));
+        h = hash_combine(h, bits);
+    }
+    h = hash_combine(h, block_hash(p->body_stmts()));
+    p->digest_.v = h;
+    p->digest_.valid = true;
+    return h;
 }
 
 }  // namespace exo2

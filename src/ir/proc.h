@@ -183,10 +183,40 @@ class Proc : public std::enable_shared_from_this<Proc>
     uint64_t root_uid_ = 0;
     uint64_t gen_ = 0;
     std::shared_ptr<const Provenance> provenance_;
+
+    /** Lazily-computed `proc_digest` cache (the proc is immutable once
+     *  published, so the digest never changes after first computation).
+     *  Call-statement hashing folds in the callee's digest, so this is
+     *  read on hot scheduling paths. Copies start cold, like
+     *  SubtreeMemoSlot: the `with_*` rebuilders copy the node and then
+     *  change digest-relevant fields. */
+    struct DigestCache
+    {
+        uint64_t v = 0;
+        bool valid = false;
+        DigestCache() = default;
+        DigestCache(const DigestCache&) {}
+        DigestCache& operator=(const DigestCache&) { return *this; }
+    };
+    mutable DigestCache digest_;
+
+    friend uint64_t proc_digest(const ProcPtr& p);
 };
 
 /** True if two procs are derived from the same original procedure. */
 bool procs_equivalent(const ProcPtr& a, const ProcPtr& b);
+
+/**
+ * 64-bit structural digest of a procedure: signature (argument names,
+ * types, dims, memories), assertions, instruction metadata, and body.
+ * Built from the interned nodes' cached hashes, so it is O(signature +
+ * top-level statements), not O(tree). Structurally identical procs give
+ * equal digests regardless of how they were derived — the autotuner's
+ * beam search uses this to deduplicate schedule states, and the cost
+ * simulator's memo keys on it. The proc *name* is excluded (`renamed`
+ * preserves semantics and cost).
+ */
+uint64_t proc_digest(const ProcPtr& p);
 
 }  // namespace exo2
 

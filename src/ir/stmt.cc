@@ -2,6 +2,7 @@
 
 #include "src/ir/errors.h"
 #include "src/ir/interner.h"
+#include "src/ir/proc.h"
 
 namespace exo2 {
 
@@ -50,7 +51,10 @@ Stmt::rehash()
       case StmtKind::Alloc:
         h = hash_combine(h, hash_str(name_));
         h = hash_combine(h, static_cast<uint64_t>(type_));
-        h = hash_combine(h, reinterpret_cast<uintptr_t>(mem_.get()));
+        // Memories are named singletons; hashing the name (not the
+        // address) keeps the hash stable and address-reuse-proof while
+        // still agreeing with pointer equality in stmt_equal.
+        h = hash_combine(h, mem_ ? hash_str(mem_->name()) : 0x3E3Full);
         h = hash_expr_list(h, dims_);
         break;
       case StmtKind::For:
@@ -68,8 +72,14 @@ Stmt::rehash()
       case StmtKind::Pass:
         break;
       case StmtKind::Call:
-        h = hash_combine(h, reinterpret_cast<uintptr_t>(callee_.get()));
-        if (!callee_)  // pattern-only call: the name stands in
+        // Hash the callee by content (its structural digest), not by
+        // address: stmt_equal's pointer comparison still implies equal
+        // hashes (same pointer => same digest), and digest-keyed
+        // consumers — the cost-result memo, the autotuner's state
+        // dedup — can never be fooled by a recycled allocation.
+        if (callee_)
+            h = hash_combine(h, proc_digest(callee_));
+        else  // pattern-only call: the name stands in
             h = hash_combine(h, hash_str(name_));
         h = hash_expr_list(h, args_);
         break;

@@ -1,8 +1,12 @@
 #include "src/machine/cost_sim.h"
 
+#include <cstring>
 #include <memory>
+#include <unordered_map>
 
+#include "src/cursor/accel.h"
 #include "src/ir/errors.h"
+#include "src/ir/interner.h"
 #include "src/ir/printer.h"
 
 namespace exo2 {
@@ -475,12 +479,97 @@ class CostSim
     std::map<const Stmt*, uint64_t> alloc_addr_;
 };
 
+// -- Result memoization (see cost_sim.h) -------------------------------
+
+bool g_cache_enabled = true;
+CostSimCacheStats g_cache_stats;
+
+std::unordered_map<uint64_t, CostResult>&
+cost_cache()
+{
+    static std::unordered_map<uint64_t, CostResult> c;
+    return c;
+}
+
+accel_internal::ClearerRegistration g_cost_cache_clearer(
+    +[] { cost_cache().clear(); });
+
+uint64_t
+cost_key(const ProcPtr& p, const std::vector<CostArg>& args,
+         const CostConfig& cfg)
+{
+    uint64_t h = proc_digest(p);
+    for (const CostArg& a : args) {
+        h = hash_combine(h, a.is_scalar ? 1u : 0u);
+        h = hash_combine(h, static_cast<uint64_t>(a.size));
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(a.scalar), "");
+        memcpy(&bits, &a.scalar, sizeof(bits));
+        h = hash_combine(h, bits);
+    }
+    h = hash_combine(h, static_cast<uint64_t>(cfg.line_bytes));
+    h = hash_combine(h, static_cast<uint64_t>(cfg.l1_kb));
+    h = hash_combine(h, static_cast<uint64_t>(cfg.l1_assoc));
+    h = hash_combine(h, static_cast<uint64_t>(cfg.l2_kb));
+    h = hash_combine(h, static_cast<uint64_t>(cfg.l2_assoc));
+    for (double d : {cfg.l1_hit_cycles, cfg.l1_miss_cycles,
+                     cfg.l2_miss_cycles, cfg.loop_overhead, cfg.scalar_op,
+                     cfg.host_penalty, cfg.dispatch_cycles}) {
+        uint64_t bits;
+        memcpy(&bits, &d, sizeof(bits));
+        h = hash_combine(h, bits);
+    }
+    return hash_combine(h, cfg.warm ? 1u : 0u);
+}
+
 }  // namespace
+
+CostSimCacheStats
+cost_sim_cache_stats()
+{
+    return g_cache_stats;
+}
+
+void
+reset_cost_sim_cache_stats()
+{
+    g_cache_stats = CostSimCacheStats();
+}
+
+bool
+cost_sim_cache_enabled()
+{
+    return g_cache_enabled;
+}
+
+void
+set_cost_sim_cache_enabled(bool on)
+{
+    if (!on)
+        cost_cache().clear();
+    g_cache_enabled = on;
+}
+
+void
+clear_cost_sim_cache()
+{
+    cost_cache().clear();
+}
 
 CostResult
 simulate_cost(const ProcPtr& p, const std::vector<CostArg>& args,
               const CostConfig& cfg)
 {
+    uint64_t key = 0;
+    if (g_cache_enabled) {
+        key = cost_key(p, args, cfg);
+        auto it = cost_cache().find(key);
+        if (it != cost_cache().end()) {
+            g_cache_stats.hits++;
+            return it->second;
+        }
+        g_cache_stats.misses++;
+    }
     CostSim sim(cfg);
     Frame frame;
     size_t ai = 0;
@@ -528,6 +617,8 @@ simulate_cost(const ProcPtr& p, const std::vector<CostArg>& args,
     }
     sim.result.cycles += cfg.dispatch_cycles;
     sim.run(p, std::move(frame));
+    if (g_cache_enabled)
+        cost_cache()[key] = sim.result;
     return sim.result;
 }
 

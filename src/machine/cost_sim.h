@@ -97,6 +97,37 @@ CostResult simulate_cost_named(const ProcPtr& p,
                                const std::map<std::string, int64_t>& sizes,
                                const CostConfig& cfg = CostConfig());
 
+// -- Result memoization (DESIGN.md §6) ---------------------------------
+//
+// `simulate_cost` memoizes results keyed on (proc_digest, arguments,
+// config): the autotuner's beam search repeatedly reaches structurally
+// identical schedule states through different edit orders, and a
+// digest hit skips the whole simulation. Keys are structural, so the
+// cache can never go stale (simulation depends only on proc structure
+// and inputs). Single-threaded like the analysis memo caches; cleared
+// together with the cursor-accel caches (`clear_cursor_accel_caches`).
+
+/** Hit/miss counters, reported alongside `cursor_accel_stats()`. */
+struct CostSimCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;  ///< simulations actually executed
+};
+
+CostSimCacheStats cost_sim_cache_stats();
+
+/** Reset the counters (does not touch cache contents). */
+void reset_cost_sim_cache_stats();
+
+/** Is cost-result memoization consulted? Defaults to true. */
+bool cost_sim_cache_enabled();
+
+/** Toggle memoization; disabling clears the cache. */
+void set_cost_sim_cache_enabled(bool on);
+
+/** Drop every memoized cost result. */
+void clear_cost_sim_cache();
+
 }  // namespace exo2
 
 #endif  // EXO2_MACHINE_COST_SIM_H_

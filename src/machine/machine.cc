@@ -1,7 +1,10 @@
 #include "src/machine/machine.h"
 
+#include <cctype>
+
 #include "src/frontend/parser.h"
 #include "src/ir/errors.h"
+#include "src/machine/cost_sim.h"
 #include "src/util/strings.h"
 
 namespace exo2 {
@@ -521,6 +524,48 @@ machine_avx512()
     static Machine m("AVX512", mem_avx512(), /*predication=*/true,
                      /*fma=*/true, /*predicated_alu=*/true);
     return m;
+}
+
+const Machine&
+find_machine(const std::string& name)
+{
+    std::string up;
+    for (char c : name)
+        up.push_back(static_cast<char>(toupper(static_cast<unsigned char>(c))));
+    if (up == "AVX2")
+        return machine_avx2();
+    if (up == "AVX512")
+        return machine_avx512();
+    // A caller-supplied lookup key (e.g. from a replayed schedule
+    // script), not an engine invariant.
+    throw SchedulingError("unknown machine '" + name +
+                          "' (known: AVX2, AVX512)");
+}
+
+TileHints
+tile_hints(const Machine& m, ScalarType t, const CostConfig& cfg)
+{
+    TileHints h;
+    h.vec_width = m.vec_width(t);
+    // Register-level split factors: one vector, and small multiples for
+    // interleaving / unroll-and-jam headroom.
+    h.split_factors = {h.vec_width, 2ll * h.vec_width,
+                       4ll * h.vec_width};
+    // Cache-level tiles: sides of a square working set filling roughly
+    // a third of L1 / L2 (three streams in flight: two inputs and one
+    // output), rounded down to a vector multiple.
+    int elem = type_size_bytes(t);
+    for (int64_t kb : {static_cast<int64_t>(cfg.l1_kb),
+                       static_cast<int64_t>(cfg.l2_kb)}) {
+        int64_t elems = kb * 1024 / 3 / elem;
+        int64_t side = 1;
+        while ((side * 2) * (side * 2) <= elems)
+            side *= 2;
+        side = side / h.vec_width * h.vec_width;
+        if (side >= 2 * h.vec_width)
+            h.cache_tiles.push_back(side);
+    }
+    return h;
 }
 
 }  // namespace exo2

@@ -105,6 +105,32 @@ const Machine& machine_avx2();
 /** The AVX512 target: 64-byte vectors, FMA, predicated memory ops. */
 const Machine& machine_avx512();
 
+/**
+ * Look up a CPU vector machine by its `name()` ("AVX2", "AVX512";
+ * case-insensitive). Throws SchedulingError for unknown names. Used by
+ * the autotuner's replayable schedule scripts, which reference the
+ * machine nominally so a recorded step is self-describing.
+ */
+const Machine& find_machine(const std::string& name);
+
+struct CostConfig;  // machine/cost_sim.h
+
+/**
+ * Tile-size hints for the autotuner's action enumeration (DESIGN.md
+ * §6): candidate loop-split factors derived from the machine's vector
+ * shape and the cost model's cache geometry.
+ */
+struct TileHints
+{
+    int vec_width = 8;                    ///< lanes at the precision
+    std::vector<int64_t> split_factors;   ///< vector-register multiples
+    std::vector<int64_t> cache_tiles;     ///< L1/L2-derived tile sides
+};
+
+/** Hints for vectorizing/tiling `t`-typed loops on `m` under `cfg`. */
+TileHints tile_hints(const Machine& m, ScalarType t,
+                     const CostConfig& cfg);
+
 }  // namespace exo2
 
 #endif  // EXO2_MACHINE_MACHINE_H_

@@ -1,0 +1,101 @@
+#ifndef EXO2_TUNE_ACTIONS_H_
+#define EXO2_TUNE_ACTIONS_H_
+
+/**
+ * @file
+ * Action enumeration for the schedule autotuner (DESIGN.md §6).
+ *
+ * An *action* is one legal scheduling move at one cursor site of a
+ * proc, emitted as a self-describing, replayable `FuzzStep`. Sites are
+ * addressed by ordinals into deterministic pre-order walks (loops,
+ * allocs), so a step is meaningful relative to the proc it was
+ * enumerated on and replays bit-for-bit.
+ *
+ * The tuner vocabulary (integer operands first, name operands second):
+ *
+ *   t_divide[loop,factor,tail; io,ii]  divide_loop (tail 0=cut 1=guard
+ *                                      2=perfect)
+ *   t_reorder[loop]                    reorder_loops (swap with inner)
+ *   t_unroll[loop]                     unroll_loop (const trip only)
+ *   t_vectorize[loop,tail; machine,prec]
+ *                                      sched::vectorize (tail 0=cut,
+ *                                      1=cut+masked-guard)
+ *   t_interleave[loop,factor]          sched::interleave_loop (ILP)
+ *   t_cse[loop]                        sched::cse_reads
+ *   t_licm[loop]                       sched::hoist_from_loop
+ *   t_uaj[loop,factor]                 sched::unroll_and_jam
+ *   t_lift_alloc[alloc,n]              lift_alloc (stage buffers out)
+ *
+ * Enumeration is *validated*: candidate sites come from cheap
+ * structural scans, and every candidate is then applied once — for
+ * composite combinators the only sound legality predicate is the
+ * apply itself — so every returned action is known-good and carries
+ * its resulting proc. Primitives signalling inapplicability must do so
+ * via SchedulingError/InvalidCursorError; anything else (InternalError,
+ * untyped exceptions) escapes, and the legality test suite treats it
+ * as an engine bug.
+ */
+
+#include <vector>
+
+#include "src/machine/machine.h"
+#include "src/verify/fuzz.h"
+
+namespace exo2 {
+namespace tune {
+
+/** The tunable action space, parameterized by the machine. */
+struct TuneSpace
+{
+    /** Loop-split factors (`t_divide`): vector-register multiples and
+     *  cache-tile sides from `tile_hints`. */
+    std::vector<int64_t> divide_factors;
+    /** `t_interleave` / `t_uaj` factors. */
+    std::vector<int> interleave_factors;
+    std::vector<int> jam_factors;
+    /** `t_unroll` only fires on constant trip counts <= this. */
+    int64_t unroll_max_trip = 8;
+    /** `t_interleave` only fires on loops with at most this many
+     *  direct body statements (stops interleave-stacking: the cost
+     *  model prices saved loop overhead but not code footprint). */
+    size_t max_interleave_body = 16;
+    /** `t_uaj` only fires on nests of at most this many statements
+     *  (stops jam-stacking and the register pressure it hides). */
+    size_t max_uaj_stmts = 8;
+    /** Master switches (all on by default). */
+    bool enable_vectorize = true;
+    bool enable_divide = true;
+    bool enable_reorder = true;
+    bool enable_unroll = true;
+    bool enable_interleave = true;
+    bool enable_cse = true;
+    bool enable_licm = true;
+    bool enable_uaj = true;
+    bool enable_lift_alloc = true;
+};
+
+/** The default space for `machine` at `precision` under `cfg`. */
+TuneSpace default_space(const Machine& machine, ScalarType precision,
+                        const struct CostConfig& cfg);
+
+/** One validated action: the replayable step and its known result. */
+struct TuneAction
+{
+    verify::FuzzStep step;
+    ProcPtr result;
+};
+
+/**
+ * Enumerate every legal action on `p`. Deterministic: site walks are
+ * pre-order, op families in fixed order, factors in `space` order.
+ * No-op actions (result structurally identical to `p`) are dropped.
+ */
+std::vector<TuneAction> enumerate_actions(const ProcPtr& p,
+                                          const Machine& machine,
+                                          ScalarType precision,
+                                          const TuneSpace& space);
+
+}  // namespace tune
+}  // namespace exo2
+
+#endif  // EXO2_TUNE_ACTIONS_H_

@@ -1,0 +1,355 @@
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <unordered_set>
+
+#include "src/ir/errors.h"
+#include "src/tune/actions.h"
+#include "src/tune/tune.h"
+#include "src/util/rng.h"
+#include "src/verify/cjit.h"
+#include "src/verify/oracle.h"
+
+namespace exo2 {
+namespace tune {
+
+namespace {
+
+struct State
+{
+    ProcPtr proc;
+    std::vector<FuzzStep> script;
+    double cost = 0.0;
+    uint64_t digest = 0;
+};
+
+bool
+state_less(const State& a, const State& b)
+{
+    if (a.cost != b.cost)
+        return a.cost < b.cost;
+    // Deterministic tie-breaks: shorter script, then digest.
+    if (a.script.size() != b.script.size())
+        return a.script.size() < b.script.size();
+    return a.digest < b.digest;
+}
+
+int64_t
+env_int(const char* name, int64_t fallback)
+{
+    const char* v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::atoll(v);
+}
+
+/** Keep the best-`cap` scored states (winner candidates). */
+class TopPool
+{
+  public:
+    explicit TopPool(size_t cap) : cap_(cap) {}
+
+    void offer(const State& s)
+    {
+        auto it = std::lower_bound(states_.begin(), states_.end(), s,
+                                   state_less);
+        if (it == states_.end() && states_.size() >= cap_)
+            return;
+        states_.insert(it, s);
+        if (states_.size() > cap_)
+            states_.pop_back();
+    }
+
+    const std::vector<State>& states() const { return states_; }
+
+  private:
+    size_t cap_;
+    std::vector<State> states_;  ///< sorted, best first
+};
+
+}  // namespace
+
+TuneResult
+autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
+{
+    if (!p)
+        throw SchedulingError("autotune: null proc");
+
+    TuneOpts opts = opts_in;
+    opts.beam_width = static_cast<int>(
+        env_int("EXO2_TUNE_BEAM", opts.beam_width));
+    opts.max_rounds = static_cast<int>(
+        env_int("EXO2_TUNE_ROUNDS", opts.max_rounds));
+    opts.random_restarts = static_cast<int>(
+        env_int("EXO2_TUNE_RESTARTS", opts.random_restarts));
+    opts.jit_topk = static_cast<int>(
+        env_int("EXO2_TUNE_JIT_TOPK", opts.jit_topk));
+    opts.seed = static_cast<uint64_t>(
+        env_int("EXO2_TUNE_SEED", static_cast<int64_t>(opts.seed)));
+    bool verbose = env_int("EXO2_TUNE_VERBOSE", 0) != 0;
+    if (opts.beam_width < 1)
+        opts.beam_width = 1;
+    if (opts.measure_sizes.empty())
+        opts.measure_sizes = opts.tune_sizes;
+    if (opts.validate_sizes.empty())
+        opts.validate_sizes = opts.tune_sizes;
+
+    for (const auto& [label, env] :
+         {std::pair<const char*, const SizeEnv&>{"tune_sizes",
+                                                 opts.tune_sizes},
+          {"measure_sizes", opts.measure_sizes},
+          {"validate_sizes", opts.validate_sizes}}) {
+        for (const auto& a : p->args()) {
+            if ((a.is_size ||
+                 (a.dims.empty() && a.type == ScalarType::Index)) &&
+                env.find(a.name) == env.end()) {
+                throw SchedulingError(
+                    std::string("autotune: ") + label + " missing size "
+                    "argument '" + a.name + "' of proc '" + p->name() +
+                    "'");
+            }
+        }
+        if (!verify::preds_hold(p, env)) {
+            throw SchedulingError(
+                std::string("autotune: ") + label + " violate the "
+                "assertions of proc '" + p->name() +
+                "' (pick sizes satisfying its preds)");
+        }
+    }
+
+    TuneResult result;
+    CostSimCacheStats cache0 = cost_sim_cache_stats();
+    TuneSpace space = default_space(machine, opts.precision, opts.cost);
+
+    auto score = [&](const ProcPtr& q) {
+        result.stats.states_scored++;
+        return simulate_cost_named(q, opts.tune_sizes, opts.cost).cycles;
+    };
+
+    State init;
+    init.proc = p;
+    init.cost = score(p);
+    init.digest = proc_digest(p);
+    result.naive_cost = init.cost;
+
+    size_t pool_cap = static_cast<size_t>(
+        std::max({opts.beam_width, opts.jit_topk, 8}));
+    TopPool pool(pool_cap);
+    pool.offer(init);
+
+    std::unordered_set<uint64_t> seen{init.digest};
+    std::unordered_set<uint64_t> expanded;
+
+    // The initial state is the one state every descent revisits (beam
+    // round 1 and the first step of every restart), and enumeration is
+    // the expensive part — it validates candidates by applying them —
+    // so its action list is computed once and reused.
+    std::vector<TuneAction> init_actions;
+    bool init_enumerated = false;
+    auto actions_for = [&](const State& st,
+                           std::vector<TuneAction>* storage)
+        -> const std::vector<TuneAction>& {
+        if (st.digest == init.digest) {
+            if (!init_enumerated) {
+                init_actions = enumerate_actions(st.proc, machine,
+                                                 opts.precision, space);
+                init_enumerated = true;
+                result.stats.actions_enumerated +=
+                    static_cast<int>(init_actions.size());
+            }
+            return init_actions;
+        }
+        *storage = enumerate_actions(st.proc, machine, opts.precision,
+                                     space);
+        result.stats.actions_enumerated +=
+            static_cast<int>(storage->size());
+        return *storage;
+    };
+
+    auto expand = [&](const State& st, std::vector<State>* out) {
+        // A state that survived a round was already expanded then; all
+        // its children are in `seen`, so re-enumerating (re-applying
+        // every primitive) would be pure waste.
+        if (!expanded.insert(st.digest).second)
+            return;
+        std::vector<TuneAction> storage;
+        const std::vector<TuneAction>& actions = actions_for(st, &storage);
+        for (const TuneAction& a : actions) {
+            uint64_t d = proc_digest(a.result);
+            if (!seen.insert(d).second) {
+                result.stats.dedup_skips++;
+                continue;
+            }
+            State ns;
+            ns.proc = a.result;
+            ns.script = st.script;
+            ns.script.push_back(a.step);
+            ns.cost = score(a.result);
+            ns.digest = d;
+            pool.offer(ns);
+            out->push_back(std::move(ns));
+        }
+    };
+
+    // -- Beam search ---------------------------------------------------
+    std::vector<State> beam{init};
+    double best_cost = init.cost;
+    int stall = 0;
+    for (int round = 1; round <= opts.max_rounds; round++) {
+        std::vector<State> candidates = beam;
+        for (const State& st : beam)
+            expand(st, &candidates);
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         state_less);
+        if (candidates.size() >
+            static_cast<size_t>(opts.beam_width))
+            candidates.resize(static_cast<size_t>(opts.beam_width));
+        beam = std::move(candidates);
+        result.stats.rounds = round;
+        if (verbose) {
+            std::cerr << "autotune[" << p->name() << "] round " << round
+                      << ": best " << beam[0].cost << " cycles, "
+                      << result.stats.states_scored << " scored, "
+                      << result.stats.dedup_skips << " deduped\n";
+        }
+        if (beam[0].cost < best_cost) {
+            best_cost = beam[0].cost;
+            stall = 0;
+        } else if (++stall >= 2) {
+            break;
+        }
+    }
+
+    // -- Random restarts: noisy greedy descents ------------------------
+    for (int r = 1; r <= opts.random_restarts; r++) {
+        XorShiftRng rng(opts.seed * 0x9E3779B97F4A7C15ull +
+                        static_cast<uint64_t>(r));
+        State cur = init;
+        for (int round = 1; round <= opts.max_rounds; round++) {
+            std::vector<TuneAction> storage;
+            const std::vector<TuneAction>& actions =
+                actions_for(cur, &storage);
+            State best_next;
+            double best_noisy =
+                std::numeric_limits<double>::infinity();
+            for (const TuneAction& a : actions) {
+                uint64_t d = proc_digest(a.result);
+                State ns;
+                ns.proc = a.result;
+                ns.script = cur.script;
+                ns.script.push_back(a.step);
+                ns.cost = score(a.result);  // cache-hit if seen before
+                ns.digest = d;
+                if (seen.insert(d).second)
+                    pool.offer(ns);
+                double noisy = ns.cost * (1.0 + 0.25 * rng.unit());
+                if (noisy < best_noisy) {
+                    best_noisy = noisy;
+                    best_next = std::move(ns);
+                }
+            }
+            if (!best_next.proc)
+                break;
+            cur = std::move(best_next);
+        }
+        if (verbose) {
+            std::cerr << "autotune[" << p->name() << "] restart " << r
+                      << ": reached " << cur.cost << " cycles\n";
+        }
+    }
+
+    // -- JIT-measured refinement ---------------------------------------
+    std::vector<State> ranked = pool.states();
+    std::vector<double> measured(ranked.size(), -1.0);
+    if (opts.jit_topk > 0) {
+        size_t k = std::min(static_cast<size_t>(opts.jit_topk),
+                            ranked.size());
+        std::vector<std::pair<double, size_t>> order;
+        for (size_t i = 0; i < k; i++) {
+            try {
+                verify::CompiledProc cp(ranked[i].proc);
+                verify::OracleInputs in = verify::make_inputs(
+                    ranked[i].proc, opts.measure_sizes, 0x7777);
+                double per = cp.time_per_call(in.args, 0.05, 100000);
+                measured[i] = per;
+                order.emplace_back(per, i);
+                result.stats.jit_measured++;
+                if (verbose) {
+                    std::cerr << "autotune[" << p->name()
+                              << "] jit rank " << i << ": "
+                              << per * 1e6 << " us/call (cost "
+                              << ranked[i].cost << ")\n";
+                }
+            } catch (const std::exception& e) {
+                // A candidate the cost model accepted but the C
+                // backend rejects (VerifyError from the compiler,
+                // SchedulingError from codegen checks) is skipped, not
+                // fatal — same tolerance the tri-oracle applies.
+                if (verbose) {
+                    std::cerr << "autotune[" << p->name()
+                              << "] jit rank " << i
+                              << " failed to compile: " << e.what()
+                              << "\n";
+                }
+            }
+        }
+        // Re-rank the measured prefix by wall clock (unmeasured states
+        // keep their cost-model order after it).
+        std::stable_sort(order.begin(), order.end());
+        std::vector<State> rr;
+        std::vector<double> rm;
+        for (auto& [per, i] : order) {
+            rr.push_back(ranked[i]);
+            rm.push_back(per);
+        }
+        for (size_t i = 0; i < ranked.size(); i++) {
+            if (measured[i] < 0) {
+                rr.push_back(ranked[i]);
+                rm.push_back(-1.0);
+            }
+        }
+        ranked = std::move(rr);
+        measured = std::move(rm);
+    }
+
+    // -- Tri-oracle validation ------------------------------------------
+    size_t chosen = 0;
+    if (opts.validate) {
+        bool found = false;
+        for (size_t i = 0; i < ranked.size(); i++) {
+            verify::TriOracleReport rep = verify::tri_oracle_check(
+                p, ranked[i].proc, opts.validate_sizes,
+                opts.validate_seed);
+            if (rep.ok) {
+                chosen = i;
+                found = true;
+                break;
+            }
+            result.stats.validate_rejects++;
+            if (verbose) {
+                std::cerr << "autotune[" << p->name()
+                          << "] candidate " << i
+                          << " failed validation: " << rep.detail
+                          << "\n";
+            }
+        }
+        result.validated = found;
+        if (!found)
+            chosen = 0;  // report best-effort, flagged unvalidated
+    }
+
+    const State& win = ranked[chosen];
+    result.best = win.proc;
+    result.script = win.script;
+    result.cost = win.cost;
+    result.measured_seconds = measured[chosen];
+
+    CostSimCacheStats cache1 = cost_sim_cache_stats();
+    result.stats.cost_cache_hits = cache1.hits - cache0.hits;
+    result.stats.cost_cache_misses = cache1.misses - cache0.misses;
+    return result;
+}
+
+}  // namespace tune
+}  // namespace exo2

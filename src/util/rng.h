@@ -1,0 +1,47 @@
+#ifndef EXO2_UTIL_RNG_H_
+#define EXO2_UTIL_RNG_H_
+
+/**
+ * @file
+ * The deterministic xorshift64 RNG shared by every seeded component
+ * (schedule fuzzer, autotuner restarts, randomized equivalence tests).
+ * One definition so the zero-state guard cannot drift between copies:
+ * xorshift has a single absorbing state (0), and the seed whitening
+ * XOR maps exactly one seed onto it.
+ */
+
+#include <cstdint>
+
+namespace exo2 {
+
+struct XorShiftRng
+{
+    uint64_t s;
+
+    explicit XorShiftRng(uint64_t seed) : s(seed ^ 0x9E3779B97F4A7C15ull)
+    {
+        if (s == 0)
+            s = 0x2545F4914F6CDD1Dull;
+    }
+
+    uint64_t next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+
+    /** Uniform in [0, n). */
+    int64_t below(int64_t n)
+    {
+        return static_cast<int64_t>(next() % static_cast<uint64_t>(n));
+    }
+
+    /** Uniform in [0, 1). */
+    double unit() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+};
+
+}  // namespace exo2
+
+#endif  // EXO2_UTIL_RNG_H_

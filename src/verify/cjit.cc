@@ -4,6 +4,7 @@
 #include <dlfcn.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -380,6 +381,17 @@ double
 CompiledProc::time_run(const std::vector<RunArg>& args, int iters) const
 {
     return run_marshalled(entry_, proc_, args, iters);
+}
+
+double
+CompiledProc::time_per_call(const std::vector<RunArg>& args,
+                            double target_seconds, int max_iters) const
+{
+    double once = time_run(args, 1);  // also warms the caches
+    int iters =
+        static_cast<int>(target_seconds / std::max(once, 1e-7));
+    iters = std::max(4, std::min(iters, max_iters));
+    return time_run(args, iters) / iters;
 }
 
 }  // namespace verify

@@ -111,6 +111,15 @@ class CompiledProc
      *  (guard zones are still checked and outputs marshalled back). */
     double time_run(const std::vector<RunArg>& args, int iters) const;
 
+    /** Calibrated measurement: time one call (which also warms the
+     *  caches), derive an iteration count filling roughly
+     *  `target_seconds`, clamp it to [4, max_iters], and return the
+     *  measured wall-clock seconds per call. The shared helper behind
+     *  every GFLOP/s benchmark and the autotuner's JIT re-rank. */
+    double time_per_call(const std::vector<RunArg>& args,
+                         double target_seconds = 0.15,
+                         int max_iters = 200000) const;
+
     /** The generated translation unit (for diagnostics). */
     const std::string& source() const { return src_; }
 

@@ -8,26 +8,14 @@
 #include "src/ir/builder.h"
 #include "src/ir/errors.h"
 #include "src/primitives/primitives.h"
+#include "src/util/rng.h"
 
 namespace exo2 {
 namespace verify {
 
 namespace {
 
-/** Deterministic xorshift RNG (same family as the forwarding tests). */
-struct Rng
-{
-    uint64_t s;
-    explicit Rng(uint64_t seed) : s(seed ^ 0x9E3779B97F4A7C15ull) {}
-    uint64_t next()
-    {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        return s;
-    }
-    int64_t below(int64_t n) { return static_cast<int64_t>(next() % uint64_t(n)); }
-};
+using Rng = XorShiftRng;  // the shared seeded RNG (util/rng.h)
 
 /** Cursor collections over one proc version, in traversal order. */
 struct Walk
@@ -176,6 +164,98 @@ step_to_string(const FuzzStep& step)
     }
     os << "]";
     return os.str();
+}
+
+FuzzStep
+step_from_string(const std::string& text)
+{
+    size_t lb = text.find('[');
+    if (lb == std::string::npos || text.empty() || text.back() != ']')
+        throw SchedulingError("step_from_string: malformed step '" +
+                              text + "' (want op[n,...;s,...])");
+    FuzzStep st;
+    st.op = text.substr(0, lb);
+    if (st.op.empty())
+        throw SchedulingError("step_from_string: empty op in '" + text +
+                              "'");
+    std::string body = text.substr(lb + 1, text.size() - lb - 2);
+    // Operands never contain step syntax; embedded '['/']'/';' means
+    // the input is not one step (e.g. a whole script joined onto one
+    // line) — reject it rather than absorb the rest into a garbage
+    // name operand.
+    if (body.find('[') != std::string::npos ||
+        body.find(']') != std::string::npos ||
+        body.find(';') != body.rfind(';')) {
+        throw SchedulingError(
+            "step_from_string: '" + text + "' is not a single step "
+            "(scripts are one step per line; see script_from_string)");
+    }
+    size_t semi = body.find(';');
+    std::string nums = body.substr(0, semi);
+    auto split = [](const std::string& s) {
+        std::vector<std::string> out;
+        size_t pos = 0;
+        while (pos <= s.size()) {
+            size_t c = s.find(',', pos);
+            if (c == std::string::npos) {
+                out.push_back(s.substr(pos));
+                break;
+            }
+            out.push_back(s.substr(pos, c - pos));
+            pos = c + 1;
+        }
+        return out;
+    };
+    if (!nums.empty()) {
+        for (const std::string& tok : split(nums)) {
+            try {
+                size_t used = 0;
+                int64_t v = std::stoll(tok, &used);
+                if (used != tok.size())
+                    throw std::invalid_argument(tok);
+                st.n.push_back(v);
+            } catch (const std::exception&) {
+                throw SchedulingError(
+                    "step_from_string: bad integer operand '" + tok +
+                    "' in '" + text + "'");
+            }
+        }
+    }
+    if (semi != std::string::npos)
+        st.s = split(body.substr(semi + 1));
+    return st;
+}
+
+std::string
+script_to_string(const std::vector<FuzzStep>& steps)
+{
+    std::string out;
+    for (const FuzzStep& st : steps) {
+        out += step_to_string(st);
+        out += "\n";
+    }
+    return out;
+}
+
+std::vector<FuzzStep>
+script_from_string(const std::string& text)
+{
+    std::vector<FuzzStep> out;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t nl = text.find('\n', pos);
+        std::string line = nl == std::string::npos
+                               ? text.substr(pos)
+                               : text.substr(pos, nl - pos);
+        while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+            line.pop_back();
+        if (!line.empty())
+            out.push_back(step_from_string(line));
+        if (nl == std::string::npos)
+            break;
+        pos = nl + 1;
+    }
+    return out;
 }
 
 ProcPtr

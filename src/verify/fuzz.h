@@ -49,6 +49,20 @@ struct FuzzStep
 std::string step_to_string(const FuzzStep& step);
 
 /**
+ * Parse `step_to_string` output back into a step (inverse round-trip:
+ * `step_from_string(step_to_string(s)) == s`). Throws SchedulingError
+ * on malformed input. This is what makes recorded schedule scripts —
+ * fuzzer repros and autotuner winners alike — replayable from text.
+ */
+FuzzStep step_from_string(const std::string& text);
+
+/** Render a whole schedule script, one step per line. */
+std::string script_to_string(const std::vector<FuzzStep>& steps);
+
+/** Parse a script: one step per line, blank lines ignored. */
+std::vector<FuzzStep> script_from_string(const std::string& text);
+
+/**
  * Apply one step to `p`. Throws SchedulingError (or InvalidCursorError)
  * when the step is inapplicable — callers skip such steps.
  */

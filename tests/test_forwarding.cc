@@ -19,6 +19,7 @@
 #include "src/ir/builder.h"
 #include "src/ir/printer.h"
 #include "src/kernels/blas.h"
+#include "src/util/rng.h"
 #include "src/sched/blas.h"
 #include "tests/test_support.h"
 
@@ -184,20 +185,7 @@ TEST(Forwarding, InvalidatedCursorAcrossBatchedEdits)
 
 namespace {
 
-/** Deterministic xorshift RNG (seeds the same sequences everywhere). */
-struct Rng
-{
-    uint64_t s;
-    explicit Rng(uint64_t seed) : s(seed ^ 0x9E3779B97F4A7C15ull) {}
-    uint64_t next()
-    {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        return s;
-    }
-    int below(int n) { return static_cast<int>(next() % uint64_t(n)); }
-};
+using Rng = exo2::XorShiftRng;  // the shared seeded RNG (util/rng.h)
 
 /** All statement-list addresses of a proc, with their current sizes. */
 void
@@ -293,12 +281,14 @@ random_cursors(const ProcPtr& p, Rng* rng, int count)
         switch (rng->below(3)) {
           case 0: {
             l.kind = CursorKind::Node;
-            l.path.push_back({addr.label, rng->below(size)});
+            l.path.push_back(
+                {addr.label, static_cast<int>(rng->below(size))});
             break;
           }
           case 1: {
             l.kind = CursorKind::Gap;
-            l.path.push_back({addr.label, rng->below(size + 1)});
+            l.path.push_back(
+                {addr.label, static_cast<int>(rng->below(size + 1))});
             break;
           }
           default: {
