@@ -11,6 +11,12 @@
  * Usage: bench_autotune [output.json]
  *        bench_autotune --smoke   (one small kernel end-to-end, for
  *                                  scripts/check_autotune.sh)
+ *        bench_autotune --faults  (tune all five kernels with reduced
+ *                                  budgets under the EXO2_FAULTS
+ *                                  injection spec; exits 0 iff every
+ *                                  tune returns a validated, replayable
+ *                                  winner and faults actually fired —
+ *                                  for scripts/check_faults.sh)
  *
  * The JIT honours EXO2_NATIVE_ISA; this benchmark sets it to "auto"
  * (unless already set) so both the tuner's measured refinement and the
@@ -19,8 +25,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -137,12 +143,74 @@ build_cases(const Machine& m)
 
 }  // namespace
 
+namespace {
+
+/** --faults: drive the full five-kernel tune under the EXO2_FAULTS
+ *  injection spec with small search budgets. Passing means every tune
+ *  *completed* with a tri-oracle-validated, bit-for-bit replayable
+ *  winner while faults were genuinely being injected — the driver
+ *  process surviving to print the summary is the point. */
+int
+run_fault_mode(const Machine& m)
+{
+    using verify::fault_injection_counts;
+
+    verify::FaultSpec spec = verify::current_fault_spec();
+    if (!spec.any()) {
+        std::cerr << "bench_autotune --faults: EXO2_FAULTS is not set "
+                     "or injects nothing; refusing to pass vacuously\n";
+        return 2;
+    }
+    verify::reset_fault_injection_counts();
+    std::cerr << "bench_autotune --faults: spec "
+              << verify::fault_spec_to_string(spec) << "\n";
+
+    int failures = 0;
+    for (Case& c : build_cases(m)) {
+        c.opts.beam_width = 2;
+        c.opts.max_rounds = 3;
+        c.opts.random_restarts = 0;
+        c.opts.jit_topk = 2;
+        tune::TuneResult r = tune::autotune(c.naive, m, c.opts);
+        bool replay_ok =
+            proc_digest(tune::replay_script(c.naive, r.script)) ==
+            proc_digest(r.best);
+        std::cerr << "  " << c.name << ": completed, validated="
+                  << r.validated << ", replay_ok=" << replay_ok
+                  << ", jit_faults=" << r.stats.jit_faults
+                  << ", validate_rejects=" << r.stats.validate_rejects
+                  << "\n";
+        if (!r.validated || !replay_ok || !r.best)
+            failures++;
+    }
+
+    verify::FaultInjectionCounts fc = fault_injection_counts();
+    std::cerr << "bench_autotune --faults: injected "
+              << fc.total() << " faults (compile_fail=" << fc.compile_fail
+              << " compile_slow=" << fc.compile_slow
+              << " dlopen_fail=" << fc.dlopen_fail
+              << " isa_fail=" << fc.isa_fail
+              << " sigsegv=" << fc.sigsegv << " sigfpe=" << fc.sigfpe
+              << " sigill=" << fc.sigill << " hang=" << fc.hang
+              << "), " << failures << " kernels without a validated "
+              << "replayable winner\n";
+    if (fc.total() == 0) {
+        std::cerr << "bench_autotune --faults: no fault fired; the gate "
+                     "would be vacuous — failing\n";
+        return 2;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
 int
 main(int argc, char** argv)
 {
     bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+    bool faults = argc > 1 && std::string(argv[1]) == "--faults";
     std::string out_path = "BENCH_autotune.json";
-    if (argc > 1 && !smoke)
+    if (argc > 1 && !smoke && !faults)
         out_path = argv[1];
 
     // Native codegen wherever the CPU allows; the tuner's JIT re-rank
@@ -150,6 +218,9 @@ main(int argc, char** argv)
     setenv("EXO2_NATIVE_ISA", "auto", /*overwrite=*/0);
 
     const Machine& m = machine_avx2();
+
+    if (faults)
+        return run_fault_mode(m);
 
     if (smoke) {
         // One small kernel end-to-end: search, JIT re-rank, validate,
@@ -173,7 +244,7 @@ main(int argc, char** argv)
                                                                    : 1;
     }
 
-    std::ofstream out(out_path);
+    std::ostringstream out;
     std::vector<Case> cases = build_cases(m);
 
     out << "{\n  \"description\": \"autotuned-from-naive vs "
@@ -236,6 +307,10 @@ main(int argc, char** argv)
         first = false;
     }
     out << "\n  ],\n  \"tuned_at_80pct_of_hand\": " << hits << "\n}\n";
+    if (!bench::write_file_atomic(out_path, out.str())) {
+        std::cerr << "failed to write " << out_path << "\n";
+        return 3;
+    }
     std::cerr << "wrote " << out_path << " (" << hits << "/"
               << cases.size() << " kernels at >= 80% of hand)\n";
     return hits >= 3 ? 0 : 2;

@@ -14,8 +14,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -63,10 +63,11 @@ main(int argc, char** argv)
 {
     std::string out_path =
         argc > 1 ? argv[1] : "BENCH_native_gflops.json";
-    std::ofstream out(out_path);
+    std::ostringstream out;
 
     if (!verify::cjit_cpu_supports(NativeIsa::Avx2)) {
-        out << "{\n  \"skipped\": \"CPU has no AVX2+FMA\"\n}\n";
+        bench::write_file_atomic(
+            out_path, "{\n  \"skipped\": \"CPU has no AVX2+FMA\"\n}\n");
         std::cerr << "bench_native: CPU has no AVX2+FMA; skipped\n";
         return 0;
     }
@@ -155,6 +156,10 @@ main(int argc, char** argv)
         first = false;
     }
     out << "\n  ],\n  \"native_faster_count\": " << wins << "\n}\n";
+    if (!bench::write_file_atomic(out_path, out.str())) {
+        std::cerr << "failed to write " << out_path << "\n";
+        return 3;
+    }
     std::cerr << "wrote " << out_path << " (" << wins << "/"
               << cases.size() << " kernels faster native)\n";
     return wins >= 3 ? 0 : 2;

@@ -11,6 +11,7 @@ cd "$(dirname "$0")/.."
 label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
 build_dir=build-bench
 raw_out=$(mktemp /tmp/exo2_bench_raw.XXXXXX.json)
+trap 'rm -f "$raw_out"' EXIT
 
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
     -DEXO2_BUILD_TESTS=OFF -DEXO2_BUILD_EXAMPLES=OFF
@@ -20,7 +21,7 @@ EXO2_BENCH_OUT="$raw_out" "./$build_dir/bench_schedule_time" \
     --benchmark_min_time=1 ${EXO2_BENCH_FLAGS:-}
 
 python3 - "$label" "$raw_out" BENCH_schedule_time.json <<'EOF'
-import json, sys, datetime
+import json, os, sys, datetime
 
 label, raw_path, traj_path = sys.argv[1], sys.argv[2], sys.argv[3]
 raw = json.load(open(raw_path))
@@ -44,8 +45,12 @@ except FileNotFoundError:
 
 traj["entries"] = [e for e in traj["entries"] if e["label"] != label]
 traj["entries"].append(entry)
-json.dump(traj, open(traj_path, "w"), indent=2)
+# Atomic replace: a crash mid-dump must not truncate the trajectory.
+tmp_path = f"{traj_path}.tmp.{os.getpid()}"
+with open(tmp_path, "w") as f:
+    json.dump(traj, f, indent=2)
+    f.flush()
+    os.fsync(f.fileno())
+os.replace(tmp_path, traj_path)
 print(f"appended '{label}' to {traj_path}")
 EOF
-
-rm -f "$raw_out"

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Fault-injection gate, ctest-invocable (see CMakeLists
+# EXO2_ENABLE_FAULTS): first the sandbox unit tests, then the
+# five-kernel autotune driven to completion under every injected fault
+# class in turn — failing compilers, hanging compilers, dlopen
+# failures, native-ISA compile failures, crashing kernels (SIGSEGV /
+# SIGFPE), and never-terminating kernels. Each pass must end with a
+# tri-oracle-validated, bit-for-bit replayable winner per kernel AND a
+# non-zero injected-fault count (bench_autotune --faults fails on a
+# vacuous run itself), so the gate proves the driver degrades instead
+# of dying.
+#
+# Usage: scripts/check_faults.sh <test_sandbox binary> <bench_autotune binary>
+set -euo pipefail
+
+test_sandbox="${1:?usage: check_faults.sh <test_sandbox> <bench_autotune>}"
+bench="${2:?usage: check_faults.sh <test_sandbox> <bench_autotune>}"
+
+# The JIT honors $CC (default cc); pin and export it so the gate
+# exercises the same toolchain as the rest of CI.
+: "${CC:=cc}"
+export CC
+
+echo "=== sandbox unit tests ==="
+"$test_sandbox"
+
+# One fault class per pass: high enough probability that faults fire
+# throughout the search, low enough that some candidate always builds.
+# The seed makes every pass replayable.
+specs=(
+    "compile_fail=0.4"
+    "compile_slow=0.6,slow_seconds=30"
+    "dlopen_fail=0.4"
+    "isa_fail=0.5"
+    "sigsegv=0.4"
+    "sigfpe=0.4"
+    "hang=0.3"
+)
+
+for spec in "${specs[@]}"; do
+    echo "=== fault pass: $spec ==="
+    # Tight compile timeout so injected slow compiles cost 2 s, not 30;
+    # tight watchdog so injected hangs cost 1 s, not 10.
+    EXO2_FAULTS="seed=11,$spec" \
+    EXO2_CJIT_TIMEOUT=2 \
+    EXO2_SANDBOX_WALL=1 \
+        "$bench" --faults
+done
+
+echo "fault-injection gate OK"

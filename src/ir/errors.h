@@ -3,9 +3,13 @@
 
 /**
  * @file
- * The three user-facing error kinds of Section 3.3 of the paper.
+ * The three user-facing error kinds of Section 3.3 of the paper, plus
+ * the fault taxonomy for executing untrusted generated code
+ * (DESIGN.md §7).
  */
 
+#include <cstdint>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -40,6 +44,133 @@ class InternalError : public std::logic_error
   public:
     explicit InternalError(const std::string& msg)
         : std::logic_error("InternalError: " + msg) {}
+};
+
+/** A verification-harness failure (compile error, guard-zone damage,
+ *  marshalling mismatch). Distinct from SchedulingError: it never
+ *  indicates user error, always an engine or environment problem. */
+class VerifyError : public std::runtime_error
+{
+  public:
+    explicit VerifyError(const std::string& msg)
+        : std::runtime_error("VerifyError: " + msg) {}
+};
+
+// ---------------------------------------------------------------------------
+// Fault taxonomy (DESIGN.md §7)
+//
+// Every layer that touches generated code — codegen, the external C
+// compiler, dlopen, and execution of the loaded kernel — can fail, and
+// at production scale those failures are expected inputs rather than
+// aborts. A RuntimeFault is the structured description of one such
+// failure: which pipeline phase it occurred in, how it manifested
+// (compiler exit code, fatal signal, watchdog timeout), and how long
+// the faulting step ran. Consumers (the tri-oracle, the fuzzer, the
+// autotuner) treat faults as data: score the candidate infeasible,
+// record a repro, fall back down the ISA chain — never die.
+// ---------------------------------------------------------------------------
+
+/** Pipeline phase a fault occurred in. */
+enum class FaultPhase {
+    Codegen,  ///< C source generation
+    Compile,  ///< external C compiler invocation
+    Load,     ///< dlopen / dlsym of the built shared object
+    Execute,  ///< running the loaded kernel
+};
+
+/** How a fault manifested. */
+enum class FaultKind {
+    None,            ///< no fault (the default-constructed state)
+    CompileError,    ///< compiler exited nonzero or died on a signal
+    CompileTimeout,  ///< compiler exceeded its per-invocation timeout
+    LoadError,       ///< dlopen/dlsym failed on the built object
+    Crash,           ///< kernel died on a fatal signal or bad exit
+    Timeout,         ///< kernel exceeded the wall-clock watchdog
+    ResourceLimit,   ///< kernel hit an rlimit (CPU seconds, address space)
+    SandboxError,    ///< isolation plumbing failed (fork/mmap) — harness
+};
+
+inline const char*
+fault_phase_name(FaultPhase p)
+{
+    switch (p) {
+      case FaultPhase::Codegen: return "codegen";
+      case FaultPhase::Compile: return "compile";
+      case FaultPhase::Load: return "load";
+      case FaultPhase::Execute: return "execute";
+    }
+    return "?";
+}
+
+inline const char*
+fault_kind_name(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::None: return "none";
+      case FaultKind::CompileError: return "compile_error";
+      case FaultKind::CompileTimeout: return "compile_timeout";
+      case FaultKind::LoadError: return "load_error";
+      case FaultKind::Crash: return "crash";
+      case FaultKind::Timeout: return "timeout";
+      case FaultKind::ResourceLimit: return "resource_limit";
+      case FaultKind::SandboxError: return "sandbox_error";
+    }
+    return "?";
+}
+
+/** One structured fault from executing untrusted generated code. */
+struct RuntimeFault
+{
+    FaultKind kind = FaultKind::None;
+    FaultPhase phase = FaultPhase::Execute;
+    /** Fatal signal number (kernel crash / compiler killed), else 0. */
+    int signal_number = 0;
+    /** Process exit code when the child exited normally, else 0. */
+    int exit_code = 0;
+    /** Wall-clock seconds the faulting step ran before failing. */
+    double elapsed_seconds = 0.0;
+    /** Free-form context: compiler stderr, dlerror text, etc. */
+    std::string detail;
+
+    bool is_fault() const { return kind != FaultKind::None; }
+
+    std::string to_string() const
+    {
+        std::string s = std::string(fault_kind_name(kind)) + " in " +
+                        fault_phase_name(phase) + " phase";
+        if (signal_number)
+            s += " (signal " + std::to_string(signal_number) + ")";
+        if (exit_code)
+            s += " (exit code " + std::to_string(exit_code) + ")";
+        if (elapsed_seconds > 0) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), " after %.3fs",
+                          elapsed_seconds);
+            s += buf;
+        }
+        if (!detail.empty())
+            s += ": " + detail;
+        return s;
+    }
+};
+
+/**
+ * A RuntimeFault thrown as an exception, for layers whose interface is
+ * exception-based (e.g. CompiledProc construction). Derives from
+ * VerifyError so existing harness-level catch sites keep working;
+ * fault-aware consumers catch FaultError first and recover the
+ * structured fault via `fault()`.
+ */
+class FaultError : public VerifyError
+{
+  public:
+    explicit FaultError(RuntimeFault f)
+        : VerifyError(f.to_string()), fault_(std::move(f)) {}
+
+    const RuntimeFault& fault() const { return fault_; }
+
+  private:
+    RuntimeFault fault_;
 };
 
 }  // namespace exo2

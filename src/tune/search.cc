@@ -266,12 +266,36 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
         size_t k = std::min(static_cast<size_t>(opts.jit_topk),
                             ranked.size());
         std::vector<std::pair<double, size_t>> order;
+        verify::SandboxLimits limits = verify::SandboxLimits::defaults();
+        bool sandboxed = verify::sandbox_enabled();
         for (size_t i = 0; i < k; i++) {
             try {
                 verify::CompiledProc cp(ranked[i].proc);
                 verify::OracleInputs in = verify::make_inputs(
                     ranked[i].proc, opts.measure_sizes, 0x7777);
-                double per = cp.time_per_call(in.args, 0.05, 100000);
+                // Candidates are untrusted generated code: measure in
+                // the fault sandbox so a kernel that SIGSEGVs or never
+                // terminates is scored infeasible — the search keeps
+                // going — instead of killing the tuner. EXO2_SANDBOX=0
+                // selects the trusted in-process fast path.
+                double per;
+                if (sandboxed) {
+                    verify::TimedOutcome to = cp.time_per_call_sandboxed(
+                        in.args, 0.05, 100000, limits);
+                    if (!to.ok) {
+                        result.stats.jit_faults++;
+                        if (verbose) {
+                            std::cerr << "autotune[" << p->name()
+                                      << "] jit rank " << i
+                                      << " faulted: "
+                                      << to.fault.to_string() << "\n";
+                        }
+                        continue;
+                    }
+                    per = to.seconds_per_call;
+                } else {
+                    per = cp.time_per_call(in.args, 0.05, 100000);
+                }
                 measured[i] = per;
                 order.emplace_back(per, i);
                 result.stats.jit_measured++;
@@ -280,6 +304,15 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
                               << "] jit rank " << i << ": "
                               << per * 1e6 << " us/call (cost "
                               << ranked[i].cost << ")\n";
+                }
+            } catch (const verify::FaultError& e) {
+                // Build-phase fault (compiler failure/timeout, dlopen
+                // failure): structured, counted, non-fatal.
+                result.stats.jit_faults++;
+                if (verbose) {
+                    std::cerr << "autotune[" << p->name()
+                              << "] jit rank " << i << " faulted: "
+                              << e.fault().to_string() << "\n";
                 }
             } catch (const std::exception& e) {
                 // A candidate the cost model accepted but the C
@@ -327,6 +360,8 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
                 break;
             }
             result.stats.validate_rejects++;
+            if (rep.is_fault())
+                result.stats.validate_faults++;
             if (verbose) {
                 std::cerr << "autotune[" << p->name()
                           << "] candidate " << i

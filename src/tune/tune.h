@@ -89,7 +89,15 @@ struct TuneStats
     int states_scored = 0;       ///< cost simulations requested
     int dedup_skips = 0;         ///< states dropped by digest dedup
     int jit_measured = 0;        ///< candidates timed through the JIT
+    /** Candidates whose JIT build or sandboxed measurement faulted
+     *  (compile fail/timeout, dlopen fail, crash, hang, rlimit kill);
+     *  each is scored infeasible and the search continues. */
+    int jit_faults = 0;
     int validate_rejects = 0;    ///< candidates the tri-oracle rejected
+    /** Winner candidates the tri-oracle rejected because the C oracle
+     *  faulted (subset of the faults observed during validation; these
+     *  also count toward validate_rejects). */
+    int validate_faults = 0;
     /** Cost-cache deltas over this call (see cost_sim.h). */
     uint64_t cost_cache_hits = 0;
     uint64_t cost_cache_misses = 0;

@@ -11,18 +11,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "src/codegen/c_codegen.h"
 #include "src/ir/errors.h"
+#include "src/verify/marshal.h"
 
 namespace exo2 {
 namespace verify {
 
 namespace {
-
-constexpr size_t kGuardBytes = 256;
-constexpr unsigned char kCanary = 0xAB;
 
 std::string
 read_file(const std::string& path)
@@ -33,186 +32,40 @@ read_file(const std::string& path)
     return os.str();
 }
 
-/** Native element store for one buffer argument, with guard zones. */
-struct NativeBuf
-{
-    std::vector<unsigned char> bytes;  ///< guard | payload | guard
-    Buffer* src = nullptr;
-    ScalarType type = ScalarType::F32;
-    int64_t count = 0;
-
-    void* payload() { return bytes.data() + kGuardBytes; }
-
-    void marshal_in(Buffer* b)
-    {
-        src = b;
-        type = b->type();
-        count = b->size();
-        size_t elem = static_cast<size_t>(type_size_bytes(type));
-        bytes.assign(2 * kGuardBytes + elem * static_cast<size_t>(count),
-                     kCanary);
-        for (int64_t i = 0; i < count; i++) {
-            double v = b->at(i);
-            unsigned char* p =
-                bytes.data() + kGuardBytes + elem * static_cast<size_t>(i);
-            switch (type) {
-              case ScalarType::F32: {
-                float f = static_cast<float>(v);
-                std::memcpy(p, &f, sizeof(f));
-                break;
-              }
-              case ScalarType::F64:
-                std::memcpy(p, &v, sizeof(v));
-                break;
-              case ScalarType::I8: {
-                int8_t x = static_cast<int8_t>(v);
-                std::memcpy(p, &x, sizeof(x));
-                break;
-              }
-              case ScalarType::I32: {
-                int32_t x = static_cast<int32_t>(v);
-                std::memcpy(p, &x, sizeof(x));
-                break;
-              }
-              default:
-                throw VerifyError("unsupported buffer element type");
-            }
-        }
-    }
-
-    void check_guards(const std::string& arg_name) const
-    {
-        size_t elem = static_cast<size_t>(type_size_bytes(type));
-        size_t tail = kGuardBytes + elem * static_cast<size_t>(count);
-        for (size_t i = 0; i < kGuardBytes; i++) {
-            if (bytes[i] != kCanary || bytes[tail + i] != kCanary) {
-                throw VerifyError(
-                    "compiled code wrote outside buffer '" + arg_name +
-                    "' (" + (bytes[i] != kCanary ? "before" : "after") +
-                    " its storage)");
-            }
-        }
-    }
-
-    void marshal_out() const
-    {
-        size_t elem = static_cast<size_t>(type_size_bytes(type));
-        for (int64_t i = 0; i < count; i++) {
-            const unsigned char* p =
-                bytes.data() + kGuardBytes + elem * static_cast<size_t>(i);
-            double v = 0;
-            switch (type) {
-              case ScalarType::F32: {
-                float f;
-                std::memcpy(&f, p, sizeof(f));
-                v = static_cast<double>(f);
-                break;
-              }
-              case ScalarType::F64:
-                std::memcpy(&v, p, sizeof(v));
-                break;
-              case ScalarType::I8: {
-                int8_t x;
-                std::memcpy(&x, p, sizeof(x));
-                v = static_cast<double>(x);
-                break;
-              }
-              case ScalarType::I32: {
-                int32_t x;
-                std::memcpy(&x, p, sizeof(x));
-                v = static_cast<double>(x);
-                break;
-              }
-              default:
-                throw VerifyError("unsupported buffer element type");
-            }
-            src->set(i, v);
-        }
-    }
-};
-
 /** Marshal `args`, call `entry` `iters` times, unmarshal, and return
  *  the wall-clock seconds spent inside the calls. */
 double
 run_marshalled(void (*entry)(void**), const ProcPtr& proc,
                const std::vector<RunArg>& args, int iters)
 {
-    const auto& formals = proc->args();
-    if (formals.size() != args.size())
-        throw VerifyError("run: arity mismatch for '" + proc->name() +
-                          "'");
-
-    // Scalar slots must stay alive across the call; one 8-byte slot per
-    // argument is enough for every scalar type.
-    std::vector<int64_t> slots(args.size(), 0);
-    std::vector<NativeBuf> bufs(args.size());
-    std::vector<void*> argv(args.size(), nullptr);
-
-    for (size_t i = 0; i < args.size(); i++) {
-        const ProcArg& f = formals[i];
-        const RunArg& a = args[i];
-        switch (a.kind) {
-          case RunArg::Kind::Size:
-            if (f.dims.empty() == false)
-                throw VerifyError("run: size passed for buffer arg");
-            std::memcpy(&slots[i], &a.size, sizeof(a.size));
-            argv[i] = &slots[i];
-            break;
-          case RunArg::Kind::Scalar: {
-            // Store the native representation the generated entry
-            // point dereferences (exo2_run casts argv[i] to the
-            // formal's C type).
-            switch (f.type) {
-              case ScalarType::F32: {
-                float v = static_cast<float>(a.scalar);
-                std::memcpy(&slots[i], &v, sizeof(v));
-                break;
-              }
-              case ScalarType::F64:
-                std::memcpy(&slots[i], &a.scalar, sizeof(a.scalar));
-                break;
-              case ScalarType::I8: {
-                int8_t v = static_cast<int8_t>(a.scalar);
-                std::memcpy(&slots[i], &v, sizeof(v));
-                break;
-              }
-              case ScalarType::I32: {
-                int32_t v = static_cast<int32_t>(a.scalar);
-                std::memcpy(&slots[i], &v, sizeof(v));
-                break;
-              }
-              default:
-                throw VerifyError(
-                    "run: unsupported scalar formal type for '" +
-                    f.name + "'");
-            }
-            argv[i] = &slots[i];
-            break;
-          }
-          case RunArg::Kind::Buf:
-            if (!a.buf)
-                throw VerifyError("run: null buffer argument");
-            bufs[i].marshal_in(a.buf);
-            argv[i] = bufs[i].payload();
-            break;
-        }
-    }
+    ArgArena arena(proc, args);
+    std::vector<unsigned char> storage(arena.bytes() + 64);
+    // 64-byte-align the arena base inside the heap block.
+    auto addr = reinterpret_cast<uintptr_t>(storage.data());
+    unsigned char* base = storage.data() + ((64 - addr % 64) % 64);
+    arena.marshal_in(base);
 
     auto t0 = std::chrono::steady_clock::now();
     for (int it = 0; it < iters; it++)
-        entry(argv.data());
+        entry(arena.argv());
     auto t1 = std::chrono::steady_clock::now();
 
-    for (size_t i = 0; i < args.size(); i++) {
-        if (args[i].kind != RunArg::Kind::Buf)
-            continue;
-        bufs[i].check_guards(formals[i].name);
-        bufs[i].marshal_out();
-    }
+    arena.marshal_out();
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
 }  // namespace
+
+const char*
+native_isa_name(NativeIsa isa)
+{
+    switch (isa) {
+      case NativeIsa::Scalar: return "scalar";
+      case NativeIsa::Avx2: return "avx2";
+      case NativeIsa::Avx512: return "avx512";
+    }
+    return "?";
+}
 
 bool
 cjit_cpu_supports(NativeIsa isa)
@@ -227,6 +80,76 @@ cjit_cpu_supports(NativeIsa isa)
 #else
     return false;
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// ISA degradation chain
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::mutex g_downgrade_mu;
+std::vector<IsaDowngrade> g_downgrades;
+
+void
+record_downgrade(const std::string& proc_name, NativeIsa requested,
+                 NativeIsa used, const std::string& reason)
+{
+    IsaDowngrade d;
+    d.proc_name = proc_name;
+    d.requested = requested;
+    d.used = used;
+    d.reason = reason;
+    {
+        std::lock_guard<std::mutex> lk(g_downgrade_mu);
+        g_downgrades.push_back(d);
+    }
+    if (std::getenv("EXO2_VERBOSE_DOWNGRADES")) {
+        std::fprintf(stderr,
+                     "exo2: ISA downgrade for '%s': %s -> %s (%s)\n",
+                     proc_name.c_str(), native_isa_name(requested),
+                     native_isa_name(used), reason.c_str());
+    }
+}
+
+/** Next step down the chain: avx512 -> avx2 -> scalar. */
+NativeIsa
+isa_step_down(NativeIsa isa)
+{
+    return isa == NativeIsa::Avx512 ? NativeIsa::Avx2
+                                    : NativeIsa::Scalar;
+}
+
+/** Highest ISA at or below `isa` the CPU supports, recording one
+ *  downgrade entry when a fallback happens. */
+NativeIsa
+degrade_to_supported(const std::string& proc_name, NativeIsa isa)
+{
+    NativeIsa req = isa;
+    while (isa != NativeIsa::Scalar && !cjit_cpu_supports(isa))
+        isa = isa_step_down(isa);
+    if (isa != req) {
+        record_downgrade(proc_name, req, isa,
+                         std::string("cpuid: CPU does not support ") +
+                             native_isa_name(req));
+    }
+    return isa;
+}
+
+}  // namespace
+
+std::vector<IsaDowngrade>
+isa_downgrades()
+{
+    std::lock_guard<std::mutex> lk(g_downgrade_mu);
+    return g_downgrades;
+}
+
+void
+clear_isa_downgrades()
+{
+    std::lock_guard<std::mutex> lk(g_downgrade_mu);
+    g_downgrades.clear();
 }
 
 NativeIsa
@@ -248,12 +171,10 @@ cjit_env_isa()
     if (v == "avx2" || v == "avx512") {
         NativeIsa isa =
             v == "avx2" ? NativeIsa::Avx2 : NativeIsa::Avx512;
-        if (!cjit_cpu_supports(isa)) {
-            throw VerifyError("EXO2_NATIVE_ISA=" + v +
-                              " but the CPU does not support it (use "
-                              "'auto' for runtime detection)");
-        }
-        return isa;
+        // An explicit request the CPU lacks degrades (recorded) rather
+        // than aborting the whole run: a mis-set EXO2_NATIVE_ISA on
+        // one worker of a fleet should cost performance, not service.
+        return degrade_to_supported("EXO2_NATIVE_ISA", isa);
     }
     throw VerifyError("unrecognized EXO2_NATIVE_ISA value '" + v +
                       "' (expected scalar, avx2, avx512, or auto)");
@@ -280,6 +201,121 @@ remove_tree(const std::string& path)
     rmdir(path.c_str());
 }
 
+double
+cjit_timeout_seconds()
+{
+    if (const char* e = std::getenv("EXO2_CJIT_TIMEOUT")) {
+        double v = std::atof(e);
+        if (v > 0)
+            return v;
+    }
+    return 60.0;
+}
+
+/** Outcome of one (possibly retried) compiler run. */
+struct CompileOutcome
+{
+    bool ok = false;
+    RuntimeFault fault;   ///< when !ok
+    int attempts = 0;
+};
+
+/**
+ * Invoke the C compiler via run_command with a timeout, decoding the
+ * wait status properly and retrying transient resource failures with
+ * backoff (3 attempts: 0ms, 100ms, 400ms). Fault injection: the
+ * CompileFail / CompileSlow sites replace the compiler with a failing
+ * or sleeping stand-in, so the exact decode/timeout/recovery paths a
+ * real broken toolchain would take are the ones exercised.
+ */
+CompileOutcome
+compile_unit(const std::vector<std::string>& cc_argv,
+             const std::string& err_path)
+{
+    CompileOutcome out;
+    double timeout = cjit_timeout_seconds();
+
+    std::vector<std::string> argv = cc_argv;
+    if (fault_should_inject(FaultSite::CompileFail)) {
+        argv = {"sh", "-c",
+                "echo 'exo2: injected compiler failure' >&2; exit 1"};
+    } else if (fault_should_inject(FaultSite::CompileSlow)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "sleep %g",
+                      current_fault_spec().slow_seconds);
+        argv = {"sh", "-c", buf};
+    }
+
+    for (int attempt = 1; attempt <= 3; attempt++) {
+        out.attempts = attempt;
+        SpawnResult r = run_command(argv, err_path, timeout);
+        if (r.ok())
+            return CompileOutcome{true, {}, attempt};
+
+        std::string stderr_text = read_file(err_path);
+        if (r.timed_out) {
+            out.fault.kind = FaultKind::CompileTimeout;
+            out.fault.phase = FaultPhase::Compile;
+            out.fault.elapsed_seconds = r.seconds;
+            out.fault.detail = "compiler exceeded the " +
+                               std::to_string(timeout) +
+                               "s timeout (EXO2_CJIT_TIMEOUT)" +
+                               (stderr_text.empty()
+                                    ? ""
+                                    : "\n--- compiler output ---\n" +
+                                          stderr_text);
+            return out;  // a hung compiler is not retried
+        }
+        out.fault.kind = FaultKind::CompileError;
+        out.fault.phase = FaultPhase::Compile;
+        out.fault.exit_code = r.exited ? r.exit_code : 0;
+        out.fault.signal_number = r.term_signal;
+        out.fault.elapsed_seconds = r.seconds;
+        if (!r.started) {
+            out.fault.detail = "failed to spawn compiler: " + r.error;
+        } else if (r.term_signal) {
+            out.fault.detail =
+                "compiler killed by signal " +
+                std::to_string(r.term_signal) +
+                (stderr_text.empty()
+                     ? ""
+                     : "\n--- compiler output ---\n" + stderr_text);
+        } else {
+            out.fault.detail =
+                "compiler exited with code " +
+                std::to_string(r.exit_code) +
+                "\n--- compiler output ---\n" + stderr_text;
+        }
+        if (attempt < 3 && spawn_failure_transient(r, stderr_text)) {
+            usleep(static_cast<useconds_t>(100000u << (2 * (attempt - 1))));
+            continue;
+        }
+        return out;
+    }
+    return out;
+}
+
+/** Plant an injected execution fault in the generated unit: the real
+ *  entry point is renamed and a wrapper that traps / divides by zero /
+ *  spins is emitted in its place — a genuine miscompiled-kernel
+ *  stand-in, built and loaded through the normal pipeline. */
+std::string
+plant_execution_fault(const std::string& unit, const char* body,
+                      const char* label)
+{
+    std::string out;
+    out += "/* exo2 fault injection: ";
+    out += label;
+    out += " planted at the entry point */\n";
+    out += "#define exo2_run exo2_real_run\n";
+    out += unit;
+    out += "\n#undef exo2_run\n";
+    out += "void exo2_run(void** exo2_argv) {\n";
+    out += body;
+    out += "    exo2_real_run(exo2_argv);\n}\n";
+    return out;
+}
+
 }  // namespace
 
 void
@@ -296,24 +332,11 @@ CompiledProc::CompiledProc(const ProcPtr& p)
 
 CompiledProc::CompiledProc(const ProcPtr& p, NativeIsa isa) : proc_(p)
 {
-    // Validate explicit requests like the env path does: compiling for
-    // an ISA the CPU lacks would SIGILL on the first run() instead of
-    // failing with a diagnostic.
-    if (!cjit_cpu_supports(isa)) {
-        throw VerifyError(
-            "requested native ISA is not supported by this CPU (use "
-            "cjit_cpu_supports() to probe first)");
-    }
-    int avail = isa == NativeIsa::Avx512 ? 64
-                : isa == NativeIsa::Avx2 ? 32
-                                         : 0;
+    // Requests the CPU cannot execute degrade down the chain (the old
+    // behavior threw): compiling for a missing ISA would SIGILL on the
+    // first run, so fall back and record it.
+    isa = degrade_to_supported(p->name(), isa);
     int required = codegen_max_vector_bytes(p);
-    native_ = required > 0 && avail >= required;
-
-    CodegenOpts opts;
-    opts.native_vector_bytes = avail;
-    opts.required_vector_bytes = required;  // avoid a second proc walk
-    src_ = codegen_c_unit(p, opts);
 
     char tmpl[] = "/tmp/exo2_jit_XXXXXX";
     char* dir = mkdtemp(tmpl);
@@ -328,40 +351,138 @@ CompiledProc::CompiledProc(const ProcPtr& p, NativeIsa isa) : proc_(p)
     std::string c_path = dir_.path() + "/kernel.c";
     std::string so_path = dir_.path() + "/kernel.so";
     std::string err_path = dir_.path() + "/cc.err";
-    {
-        std::ofstream out(c_path);
-        out << src_;
+
+    const char* cc_env = std::getenv("CC");
+    std::string cc = cc_env && *cc_env ? cc_env : "cc";
+
+    // Compile, degrading down the ISA chain on failure: a native
+    // (intrinsics) unit whose compile fails — unsupported -m flags,
+    // an injected ISA fault, a toolchain missing immintrin.h — is
+    // retried as portable scalar C before giving up.
+    RuntimeFault last_fault;
+    for (;;) {
+        int avail = isa == NativeIsa::Avx512 ? 64
+                    : isa == NativeIsa::Avx2 ? 32
+                                             : 0;
+        native_ = required > 0 && avail >= required;
+        isa_ = native_ ? isa : NativeIsa::Scalar;
+
+        CodegenOpts opts;
+        opts.native_vector_bytes = avail;
+        opts.required_vector_bytes = required;  // avoid a second walk
+        src_ = codegen_c_unit(p, opts);
+
+        // Execution-fault injection is a codegen mode: the planted
+        // trap/spin rides through the real compile+load pipeline.
+        if (fault_should_inject(FaultSite::Sigsegv)) {
+            src_ = plant_execution_fault(
+                src_,
+                "    volatile int* exo2_null = 0;\n"
+                "    *exo2_null = 1;\n",
+                "SIGSEGV");
+        } else if (fault_should_inject(FaultSite::Sigfpe)) {
+            // Both operands volatile: with a constant numerator GCC
+            // folds 1/x into a branchless compare (UB assumption) and
+            // no idiv — and so no trap — is ever emitted.
+            src_ = plant_execution_fault(
+                src_,
+                "    volatile int exo2_one = 1;\n"
+                "    volatile int exo2_zero = 0;\n"
+                "    volatile int exo2_q = exo2_one / exo2_zero;\n"
+                "    (void)exo2_q;\n",
+                "SIGFPE");
+        } else if (fault_should_inject(FaultSite::Sigill)) {
+            src_ = plant_execution_fault(src_,
+                                         "    __builtin_trap();\n",
+                                         "SIGILL");
+        } else if (fault_should_inject(FaultSite::Hang)) {
+            src_ = plant_execution_fault(
+                src_,
+                "    volatile int exo2_spin = 1;\n"
+                "    while (exo2_spin) {}\n",
+                "infinite loop");
+        }
+
+        {
+            std::ofstream out(c_path);
+            out << src_;
+        }
+
+        std::vector<std::string> argv = {
+            cc,   "-O1",          "-fPIC",
+            "-shared",            "-fno-builtin",
+            "-ffp-contract=off",  "-fno-math-errno",
+            "-w"};
+        if (native_) {
+            if (required >= 64) {
+                argv.push_back("-mavx512f");
+                argv.push_back("-mavx2");
+                argv.push_back("-mfma");
+            } else {
+                argv.push_back("-mavx2");
+                argv.push_back("-mfma");
+            }
+        }
+        argv.push_back("-o");
+        argv.push_back(so_path);
+        argv.push_back(c_path);
+
+        bool injected_isa_fail =
+            native_ && fault_should_inject(FaultSite::IsaFail);
+        CompileOutcome co;
+        if (injected_isa_fail) {
+            co.ok = false;
+            co.fault.kind = FaultKind::CompileError;
+            co.fault.phase = FaultPhase::Compile;
+            co.fault.exit_code = 1;
+            co.fault.detail = "injected native-ISA compile failure";
+        } else {
+            co = compile_unit(argv, err_path);
+        }
+        if (co.ok)
+            break;
+        last_fault = co.fault;
+
+        if (native_) {
+            // Degrade and retry as scalar rather than failing the
+            // request outright.
+            std::string reason = co.fault.detail;
+            if (reason.size() > 400)
+                reason.resize(400);
+            record_downgrade(p->name(), isa, NativeIsa::Scalar,
+                             std::string(fault_kind_name(co.fault.kind)) +
+                                 ": " + reason);
+            isa = NativeIsa::Scalar;
+            continue;
+        }
+        last_fault.detail += "\n--- generated source ---\n" + src_;
+        throw FaultError(last_fault);
     }
 
-    std::string isa_flags;
-    if (native_) {
-        isa_flags = required >= 64 ? " -mavx512f -mavx2 -mfma"
-                                   : " -mavx2 -mfma";
+    if (fault_should_inject(FaultSite::DlopenFail)) {
+        // Load the C source instead of the built object: a genuine
+        // dlopen failure with a real dlerror, through the real path.
+        so_path = c_path;
     }
-    const char* cc = std::getenv("CC");
-    std::string cmd = std::string(cc && *cc ? cc : "cc") +
-                      " -O1 -fPIC -shared -fno-builtin -ffp-contract=off"
-                      " -fno-math-errno -w" +
-                      isa_flags + " -o " + so_path + " " + c_path +
-                      " 2> " + err_path;
-    int rc = std::system(cmd.c_str());
-    if (rc != 0) {
-        throw VerifyError("C compilation failed for proc '" + p->name() +
-                          "':\n" + read_file(err_path) +
-                          "\n--- generated source ---\n" + src_);
-    }
-
     handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
     if (!handle_) {
         const char* err = dlerror();  // clears the error state
-        throw VerifyError("dlopen failed: " +
-                          std::string(err ? err : "unknown"));
+        RuntimeFault f;
+        f.kind = FaultKind::LoadError;
+        f.phase = FaultPhase::Load;
+        f.detail = std::string("dlopen failed: ") +
+                   (err ? err : "unknown");
+        throw FaultError(f);
     }
     entry_ = reinterpret_cast<void (*)(void**)>(dlsym(handle_, "exo2_run"));
     if (!entry_) {
         dlclose(handle_);
         handle_ = nullptr;
-        throw VerifyError("entry point exo2_run not found in " + so_path);
+        RuntimeFault f;
+        f.kind = FaultKind::LoadError;
+        f.phase = FaultPhase::Load;
+        f.detail = "entry point exo2_run not found in " + so_path;
+        throw FaultError(f);
     }
 }
 
@@ -375,6 +496,13 @@ void
 CompiledProc::run(const std::vector<RunArg>& args) const
 {
     run_marshalled(entry_, proc_, args, 1);
+}
+
+SandboxOutcome
+CompiledProc::run_sandboxed(const std::vector<RunArg>& args,
+                            const SandboxLimits& limits) const
+{
+    return sandbox_call(entry_, proc_, args, 1, limits);
 }
 
 double
@@ -392,6 +520,32 @@ CompiledProc::time_per_call(const std::vector<RunArg>& args,
         static_cast<int>(target_seconds / std::max(once, 1e-7));
     iters = std::max(4, std::min(iters, max_iters));
     return time_run(args, iters) / iters;
+}
+
+TimedOutcome
+CompiledProc::time_per_call_sandboxed(const std::vector<RunArg>& args,
+                                      double target_seconds,
+                                      int max_iters,
+                                      const SandboxLimits& limits) const
+{
+    TimedOutcome out;
+    SandboxOutcome once = sandbox_call(entry_, proc_, args, 1, limits);
+    if (!once.ok) {
+        out.fault = once.fault;
+        return out;
+    }
+    int iters = static_cast<int>(target_seconds /
+                                 std::max(once.seconds, 1e-7));
+    iters = std::max(4, std::min(iters, max_iters));
+    SandboxOutcome timed =
+        sandbox_call(entry_, proc_, args, iters, limits);
+    if (!timed.ok) {
+        out.fault = timed.fault;
+        return out;
+    }
+    out.ok = true;
+    out.seconds_per_call = timed.seconds / iters;
+    return out;
 }
 
 }  // namespace verify

@@ -506,6 +506,19 @@ fuzz_schedule(const ProcPtr& p, const SizeEnv& env, uint64_t seed,
         r.status = FuzzResult::Status::Ok;
         return r;
     }
+    if (rep.is_fault()) {
+        // The candidate could not be executed (compile fail/timeout,
+        // dlopen fail, sandboxed crash or hang). Not an equivalence
+        // verdict: record the full applied chain as the replayable
+        // repro and let the campaign continue. No ddmin — under fault
+        // injection a re-run draws fresh faults, so single-step
+        // removal would minimize noise, not the failure.
+        r.status = FuzzResult::Status::Fault;
+        r.fault = rep.fault;
+        r.detail = rep.detail;
+        r.minimized = r.applied;
+        return r;
+    }
     r.status = FuzzResult::Status::Divergence;
     r.detail = rep.detail;
     r.minimized = minimize(p, env, seed, r.applied);
@@ -516,8 +529,13 @@ std::string
 fuzz_repro_string(const std::string& kernel, uint64_t seed,
                   const FuzzResult& r)
 {
+    const char* what =
+        r.status == FuzzResult::Status::Fault ? "fuzz fault"
+        : r.status == FuzzResult::Status::EngineError
+            ? "fuzz engine error"
+            : "fuzz divergence";
     std::ostringstream os;
-    os << "fuzz divergence on kernel '" << kernel << "' seed " << seed
+    os << what << " on kernel '" << kernel << "' seed " << seed
        << "\n  detail: " << r.detail << "\n  applied chain:";
     for (const auto& st : r.applied)
         os << " " << step_to_string(st);

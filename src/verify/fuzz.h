@@ -75,11 +75,19 @@ struct FuzzResult
         Ok,          ///< all oracles agree
         Divergence,  ///< oracles disagree (engine bug)
         EngineError, ///< a primitive threw InternalError (engine bug)
+        Fault,       ///< the C oracle faulted (compile fail/timeout,
+                     ///< dlopen fail, kernel crash/hang) — recorded as
+                     ///< a replayable repro, campaign continues
     };
     Status status = Status::Ok;
     std::string detail;
+    /** Structured fault when status == Fault. */
+    ::exo2::RuntimeFault fault;
     std::vector<FuzzStep> applied;    ///< steps that took effect
-    std::vector<FuzzStep> minimized;  ///< minimal failing sub-chain
+    /** Minimal failing sub-chain (Divergence/EngineError); for Fault
+     *  it is the full applied chain — the replayable repro script —
+     *  since fault injection makes per-step replay probabilistic. */
+    std::vector<FuzzStep> minimized;
     ProcPtr scheduled;                ///< final proc (null on EngineError)
 };
 

@@ -1,0 +1,205 @@
+#include "src/verify/marshal.h"
+
+#include <cstring>
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+namespace verify {
+
+namespace {
+
+constexpr size_t kAlign = 64;
+
+size_t
+align_up(size_t v)
+{
+    return (v + kAlign - 1) & ~(kAlign - 1);
+}
+
+void
+store_elem(unsigned char* p, ScalarType t, double v)
+{
+    switch (t) {
+      case ScalarType::F32: {
+        float f = static_cast<float>(v);
+        std::memcpy(p, &f, sizeof(f));
+        break;
+      }
+      case ScalarType::F64:
+        std::memcpy(p, &v, sizeof(v));
+        break;
+      case ScalarType::I8: {
+        int8_t x = static_cast<int8_t>(v);
+        std::memcpy(p, &x, sizeof(x));
+        break;
+      }
+      case ScalarType::I32: {
+        int32_t x = static_cast<int32_t>(v);
+        std::memcpy(p, &x, sizeof(x));
+        break;
+      }
+      default:
+        throw VerifyError("unsupported buffer element type");
+    }
+}
+
+double
+load_elem(const unsigned char* p, ScalarType t)
+{
+    switch (t) {
+      case ScalarType::F32: {
+        float f;
+        std::memcpy(&f, p, sizeof(f));
+        return static_cast<double>(f);
+      }
+      case ScalarType::F64: {
+        double v;
+        std::memcpy(&v, p, sizeof(v));
+        return v;
+      }
+      case ScalarType::I8: {
+        int8_t x;
+        std::memcpy(&x, p, sizeof(x));
+        return static_cast<double>(x);
+      }
+      case ScalarType::I32: {
+        int32_t x;
+        std::memcpy(&x, p, sizeof(x));
+        return static_cast<double>(x);
+      }
+      default:
+        throw VerifyError("unsupported buffer element type");
+    }
+}
+
+}  // namespace
+
+ArgArena::ArgArena(const ProcPtr& proc, const std::vector<RunArg>& args)
+{
+    const auto& formals = proc->args();
+    if (formals.size() != args.size())
+        throw VerifyError("run: arity mismatch for '" + proc->name() +
+                          "'");
+
+    slots_.resize(args.size());
+    argv_.assign(args.size(), nullptr);
+    size_t off = 0;
+    for (size_t i = 0; i < args.size(); i++) {
+        const ProcArg& f = formals[i];
+        const RunArg& a = args[i];
+        Slot& s = slots_[i];
+        s.name = f.name;
+        switch (a.kind) {
+          case RunArg::Kind::Size:
+            if (!f.dims.empty())
+                throw VerifyError("run: size passed for buffer arg");
+            s.offset = off;
+            s.elem = sizeof(int64_t);
+            off = align_up(off + s.elem);
+            break;
+          case RunArg::Kind::Scalar:
+            s.offset = off;
+            s.elem = sizeof(int64_t);  // one 8-byte slot fits every type
+            s.type = f.type;
+            off = align_up(off + s.elem);
+            break;
+          case RunArg::Kind::Buf: {
+            if (!a.buf)
+                throw VerifyError("run: null buffer argument");
+            s.type = a.buf->type();
+            s.count = a.buf->size();
+            s.elem = static_cast<size_t>(type_size_bytes(s.type));
+            s.buf = a.buf;
+            // guard | payload | guard, payload 64-byte aligned
+            s.offset = off + kGuardBytes;
+            off = align_up(s.offset +
+                           s.elem * static_cast<size_t>(s.count) +
+                           kGuardBytes);
+            break;
+          }
+        }
+    }
+    bytes_ = off;
+
+    // Stash the marshalling plan's source values now: scalars/sizes are
+    // copied at marshal_in time from the RunArg, so record them in the
+    // slot (the args vector may not outlive this object).
+    for (size_t i = 0; i < args.size(); i++) {
+        const RunArg& a = args[i];
+        if (a.kind == RunArg::Kind::Size) {
+            slots_[i].count = a.size;  // reuse count as the size value
+        } else if (a.kind == RunArg::Kind::Scalar) {
+            // encode through the formal type at marshal_in; remember
+            // the double here
+            slots_[i].scalar_value = a.scalar;
+            slots_[i].is_scalar = true;
+        }
+    }
+}
+
+void
+ArgArena::marshal_in(unsigned char* base)
+{
+    base_ = base;
+    for (size_t i = 0; i < slots_.size(); i++) {
+        Slot& s = slots_[i];
+        unsigned char* p = base_ + s.offset;
+        if (s.buf) {
+            std::memset(p - kGuardBytes, kCanary, kGuardBytes);
+            std::memset(p + s.elem * static_cast<size_t>(s.count),
+                        kCanary, kGuardBytes);
+            for (int64_t k = 0; k < s.count; k++)
+                store_elem(p + s.elem * static_cast<size_t>(k), s.type,
+                           s.buf->at(k));
+        } else if (s.is_scalar) {
+            // Store the native representation the generated entry
+            // point dereferences (exo2_run casts argv[i] to the
+            // formal's C type).
+            std::memset(p, 0, sizeof(int64_t));
+            switch (s.type) {
+              case ScalarType::F32:
+              case ScalarType::F64:
+              case ScalarType::I8:
+              case ScalarType::I32:
+                store_elem(p, s.type, s.scalar_value);
+                break;
+              default:
+                throw VerifyError(
+                    "run: unsupported scalar formal type for '" +
+                    s.name + "'");
+            }
+        } else {
+            int64_t v = s.count;
+            std::memcpy(p, &v, sizeof(v));
+        }
+        argv_[i] = p;
+    }
+}
+
+void
+ArgArena::marshal_out()
+{
+    for (const Slot& s : slots_) {
+        if (!s.buf)
+            continue;
+        const unsigned char* p = base_ + s.offset;
+        const unsigned char* head = p - kGuardBytes;
+        const unsigned char* tail =
+            p + s.elem * static_cast<size_t>(s.count);
+        for (size_t i = 0; i < kGuardBytes; i++) {
+            if (head[i] != kCanary || tail[i] != kCanary) {
+                throw VerifyError(
+                    "compiled code wrote outside buffer '" + s.name +
+                    "' (" + (head[i] != kCanary ? "before" : "after") +
+                    " its storage)");
+            }
+        }
+        for (int64_t k = 0; k < s.count; k++)
+            s.buf->set(k, load_elem(p + s.elem * static_cast<size_t>(k),
+                                    s.type));
+    }
+}
+
+}  // namespace verify
+}  // namespace exo2

@@ -1,0 +1,82 @@
+#ifndef EXO2_VERIFY_MARSHAL_H_
+#define EXO2_VERIFY_MARSHAL_H_
+
+/**
+ * @file
+ * Argument marshalling for JIT'd kernels (DESIGN.md §4, §7).
+ *
+ * The interpreter's `Buffer` stores every element as a double; the
+ * generated C entry point `exo2_run(void**)` expects native element
+ * arrays. An ArgArena computes a single contiguous layout for all
+ * arguments of one call — native buffer payloads wrapped in
+ * canary-filled guard zones, plus 8-byte slots for scalars and sizes —
+ * then marshals values in, builds the `void**` argv, and after the
+ * call checks the guards and copies outputs back.
+ *
+ * The layout is storage-agnostic on purpose: the in-process fast path
+ * binds the arena to a heap allocation, while the fault-isolation
+ * sandbox (sandbox.h) binds it to a `MAP_SHARED` mapping so outputs
+ * written by a forked child survive into the parent after a clean run.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/interp/interp.h"
+#include "src/ir/proc.h"
+
+namespace exo2 {
+namespace verify {
+
+/** Guard zone size on each side of every buffer payload. */
+constexpr size_t kGuardBytes = 256;
+constexpr unsigned char kCanary = 0xAB;
+
+/** Layout + marshalling of one call's arguments over caller storage. */
+class ArgArena
+{
+  public:
+    /** Computes the layout and validates `args` against the formals of
+     *  `proc` (arity, size-vs-buffer kind). Throws VerifyError on
+     *  mismatch. Does not touch any storage yet. */
+    ArgArena(const ProcPtr& proc, const std::vector<RunArg>& args);
+
+    /** Total bytes of backing storage the arena needs. */
+    size_t bytes() const { return bytes_; }
+
+    /** Bind to `base` (>= bytes(), 64-byte aligned) and write guard
+     *  zones, native payloads, and scalar/size slots. */
+    void marshal_in(unsigned char* base);
+
+    /** The argv to pass to `exo2_run`, valid after marshal_in. */
+    void** argv() { return argv_.data(); }
+
+    /** Check every guard zone and copy buffer outputs back into the
+     *  caller's `Buffer`s. Throws VerifyError when generated code
+     *  wrote outside a buffer's storage. */
+    void marshal_out();
+
+  private:
+    struct Slot
+    {
+        size_t offset = 0;      ///< payload offset within the arena
+        int64_t count = 0;      ///< elements (buffers only)
+        size_t elem = 0;        ///< element size in bytes
+        ScalarType type = ScalarType::F32;
+        Buffer* buf = nullptr;  ///< marshal-out target (buffers only)
+        bool is_scalar = false;
+        double scalar_value = 0.0;
+        std::string name;       ///< formal name, for diagnostics
+    };
+
+    std::vector<Slot> slots_;
+    std::vector<void*> argv_;
+    unsigned char* base_ = nullptr;
+    size_t bytes_ = 0;
+};
+
+}  // namespace verify
+}  // namespace exo2
+
+#endif  // EXO2_VERIFY_MARSHAL_H_

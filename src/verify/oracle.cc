@@ -227,11 +227,35 @@ tri_oracle_check(const ProcPtr& original, const ProcPtr& scheduled,
         return rep;
     }
 
-    // Oracle 2: compiled C for the scheduled proc.
+    // Oracle 2: compiled C for the scheduled proc. The candidate is
+    // untrusted generated code: by default it executes in the fault
+    // sandbox (forked child, rlimits, watchdog) so a miscompiled
+    // kernel that crashes or never terminates becomes a structured
+    // fault in the report instead of killing the driver. EXO2_SANDBOX=0
+    // selects the trusted in-process fast path.
     OracleInputs cc = clone_inputs(original, master);
     try {
         CompiledProc compiled(scheduled);
-        compiled.run(cc.args);
+        if (sandbox_enabled()) {
+            SandboxOutcome so = compiled.run_sandboxed(cc.args);
+            if (!so.ok) {
+                rep.ok = false;
+                rep.fault = so.fault;
+                rep.detail = "C oracle faulted on the scheduled proc: " +
+                             so.fault.to_string();
+                return rep;
+            }
+        } else {
+            compiled.run(cc.args);
+        }
+    } catch (const FaultError& e) {
+        // Build-phase fault: the compiler failed/hung or the object
+        // would not load. Structured, recoverable.
+        rep.ok = false;
+        rep.fault = e.fault();
+        rep.detail = "C oracle faulted on the scheduled proc: " +
+                     e.fault().to_string();
+        return rep;
     } catch (const std::exception& e) {
         rep.ok = false;
         rep.detail =

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/interp/interp.h"
+#include "src/ir/errors.h"
 #include "src/ir/proc.h"
 
 namespace exo2 {
@@ -62,6 +63,15 @@ struct TriOracleReport
     bool ok = true;
     /** Human-readable description of the first divergence. */
     std::string detail;
+    /** When the C oracle faulted (compile failure/timeout, dlopen
+     *  failure, or a sandboxed crash/hang of the kernel), the
+     *  structured fault. A fault is reported as `ok == false` like a
+     *  divergence, but consumers that must distinguish "the engine
+     *  computed the wrong answer" from "the candidate could not be
+     *  executed" (the fuzzer, the tuner) check `is_fault()`. */
+    ::exo2::RuntimeFault fault;
+
+    bool is_fault() const { return fault.is_fault(); }
 };
 
 /**
