@@ -8,15 +8,12 @@
  * better for Exo 2) and cost-simulation wrappers.
  */
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/machine/cost_sim.h"
+#include "src/util/file_atomic.h"
 
 namespace exo2 {
 namespace bench {
@@ -82,37 +79,12 @@ json_escape(const std::string& s)
 }
 
 /**
- * Write `content` to `path` atomically: temp file in the same
- * directory, fsync, rename. A benchmark that crashes or is interrupted
- * mid-write can therefore never leave a truncated JSON at `path` —
- * the previous trajectory survives intact or the new one lands whole.
- * Returns false (and removes the temp file) on any I/O failure.
+ * Atomic benchmark-JSON writes. The implementation moved to
+ * src/util/file_atomic.h so the persistent caches, the scheduling
+ * daemon, and the benchmark writers share one audited temp+fsync+
+ * rename path; this alias keeps the historical bench:: spelling.
  */
-inline bool
-write_file_atomic(const std::string& path, const std::string& content)
-{
-    std::string tmp = path + ".tmp." + std::to_string(::getpid());
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        out << content;
-        out.flush();
-        if (!out) {
-            std::remove(tmp.c_str());
-            return false;
-        }
-    }
-    // Flush file contents to disk before the rename makes it visible.
-    int fd = ::open(tmp.c_str(), O_WRONLY);
-    if (fd >= 0) {
-        ::fsync(fd);
-        ::close(fd);
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
-}
+using ::exo2::util::write_file_atomic;
 
 }  // namespace bench
 }  // namespace exo2

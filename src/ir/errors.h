@@ -56,6 +56,18 @@ class VerifyError : public std::runtime_error
         : std::runtime_error("VerifyError: " + msg) {}
 };
 
+/** A rejected configuration value (environment knob out of range,
+ *  malformed daemon option). Thrown at startup so a misconfigured
+ *  worker fails loudly instead of running with silent defaults; the
+ *  message names the knob, the offending value, and the accepted
+ *  range (src/util/env.h). */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string& msg)
+        : std::runtime_error("ConfigError: " + msg) {}
+};
+
 // ---------------------------------------------------------------------------
 // Fault taxonomy (DESIGN.md §7)
 //
@@ -76,6 +88,8 @@ enum class FaultPhase {
     Compile,  ///< external C compiler invocation
     Load,     ///< dlopen / dlsym of the built shared object
     Execute,  ///< running the loaded kernel
+    Cache,    ///< persistent tune/compile cache access (DESIGN.md §8)
+    Service,  ///< scheduling-daemon request handling (DESIGN.md §8)
 };
 
 /** How a fault manifested. */
@@ -88,6 +102,10 @@ enum class FaultKind {
     Timeout,         ///< kernel exceeded the wall-clock watchdog
     ResourceLimit,   ///< kernel hit an rlimit (CPU seconds, address space)
     SandboxError,    ///< isolation plumbing failed (fork/mmap) — harness
+    CacheCorrupt,    ///< cache entry failed checksum/format validation
+    CacheStale,      ///< cache entry from an old library/model version
+    QueueFull,       ///< service queue at capacity; request rejected
+    DeadlineExceeded,///< request deadline elapsed; degraded result
 };
 
 inline const char*
@@ -98,6 +116,8 @@ fault_phase_name(FaultPhase p)
       case FaultPhase::Compile: return "compile";
       case FaultPhase::Load: return "load";
       case FaultPhase::Execute: return "execute";
+      case FaultPhase::Cache: return "cache";
+      case FaultPhase::Service: return "service";
     }
     return "?";
 }
@@ -114,6 +134,10 @@ fault_kind_name(FaultKind k)
       case FaultKind::Timeout: return "timeout";
       case FaultKind::ResourceLimit: return "resource_limit";
       case FaultKind::SandboxError: return "sandbox_error";
+      case FaultKind::CacheCorrupt: return "cache_corrupt";
+      case FaultKind::CacheStale: return "cache_stale";
+      case FaultKind::QueueFull: return "queue_full";
+      case FaultKind::DeadlineExceeded: return "deadline_exceeded";
     }
     return "?";
 }

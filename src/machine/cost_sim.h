@@ -26,6 +26,15 @@
 
 namespace exo2 {
 
+/**
+ * Version of the cost model. Bump on any change to the pricing rules
+ * (cache model, per-instruction costs, masked-op penalties): cached
+ * tuning winners embed the model's ranking decisions, so the
+ * persistent tuning cache (src/cache/) treats entries written under
+ * an older model as stale (DESIGN.md §8).
+ */
+constexpr int kCostModelVersion = 1;
+
 /** Tunable machine-model parameters. */
 struct CostConfig
 {

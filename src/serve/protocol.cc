@@ -1,0 +1,353 @@
+#include "src/serve/protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+namespace serve {
+
+namespace {
+
+/** Wait until `fd` is ready for `events` (POLLIN/POLLOUT) within the
+ *  deadline. False on timeout or poll error. */
+bool
+wait_ready(int fd, short events, double timeout_seconds)
+{
+    int ms = timeout_seconds <= 0
+                 ? 0
+                 : static_cast<int>(timeout_seconds * 1000.0 + 0.5);
+    if (ms < 1)
+        ms = 1;
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    for (;;) {
+        int rc = poll(&pfd, 1, ms);
+        if (rc > 0)
+            return (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
+        if (rc == 0)
+            return false;  // timeout
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+bool
+write_all(int fd, const char* data, size_t len, double timeout_seconds)
+{
+    size_t off = 0;
+    while (off < len) {
+        // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE,
+        // not kill the daemon with SIGPIPE.
+        ssize_t n = send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!wait_ready(fd, POLLOUT, timeout_seconds))
+                return false;
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+read_all(int fd, char* data, size_t len, double timeout_seconds)
+{
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = recv(fd, data + off, len - off, 0);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n == 0)
+            return false;  // EOF mid-frame
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (!wait_ready(fd, POLLIN, timeout_seconds))
+                return false;
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+bool
+write_frame(int fd, const std::string& payload, double timeout_seconds)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    char hdr[4] = {static_cast<char>(len & 0xff),
+                   static_cast<char>((len >> 8) & 0xff),
+                   static_cast<char>((len >> 16) & 0xff),
+                   static_cast<char>((len >> 24) & 0xff)};
+    if (!write_all(fd, hdr, 4, timeout_seconds))
+        return false;
+    return write_all(fd, payload.data(), payload.size(),
+                     timeout_seconds);
+}
+
+bool
+read_frame(int fd, std::string* out, double timeout_seconds)
+{
+    char hdr[4];
+    if (!wait_ready(fd, POLLIN, timeout_seconds))
+        return false;
+    if (!read_all(fd, hdr, 4, timeout_seconds))
+        return false;
+    uint32_t len = (static_cast<uint32_t>(static_cast<unsigned char>(hdr[0]))) |
+                   (static_cast<uint32_t>(static_cast<unsigned char>(hdr[1])) << 8) |
+                   (static_cast<uint32_t>(static_cast<unsigned char>(hdr[2])) << 16) |
+                   (static_cast<uint32_t>(static_cast<unsigned char>(hdr[3])) << 24);
+    if (len > kMaxFrameBytes)
+        return false;  // corrupt prefix; don't trust it with memory
+    out->resize(len);
+    if (len == 0)
+        return true;
+    return read_all(fd, &(*out)[0], len, timeout_seconds);
+}
+
+std::string
+escape_value(const std::string& v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+unescape_value(const std::string& v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (size_t i = 0; i < v.size(); i++) {
+        if (v[i] == '\\' && i + 1 < v.size()) {
+            i++;
+            out += v[i] == 'n' ? '\n' : v[i];
+        } else {
+            out += v[i];
+        }
+    }
+    return out;
+}
+
+std::string
+encode_kv(const std::map<std::string, std::string>& kv)
+{
+    std::string out;
+    for (const auto& [k, v] : kv) {
+        out += k;
+        out += '=';
+        out += escape_value(v);
+        out += '\n';
+    }
+    return out;
+}
+
+std::map<std::string, std::string>
+decode_kv(const std::string& text)
+{
+    std::map<std::string, std::string> kv;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        size_t eq = text.find('=', pos);
+        if (eq != std::string::npos && eq < nl) {
+            kv[text.substr(pos, eq - pos)] =
+                unescape_value(text.substr(eq + 1, nl - eq - 1));
+        }
+        pos = nl + 1;
+    }
+    return kv;
+}
+
+namespace {
+
+int
+kv_int(const std::map<std::string, std::string>& kv, const char* key,
+       int fallback)
+{
+    auto it = kv.find(key);
+    if (it == kv.end() || it->second.empty())
+        return fallback;
+    try {
+        size_t used = 0;
+        int v = std::stoi(it->second, &used);
+        if (used != it->second.size())
+            throw std::invalid_argument(it->second);
+        return v;
+    } catch (const std::exception&) {
+        throw ConfigError(std::string("request field '") + key +
+                          "' = '" + it->second +
+                          "' is not an integer");
+    }
+}
+
+double
+kv_double(const std::map<std::string, std::string>& kv, const char* key,
+          double fallback)
+{
+    auto it = kv.find(key);
+    if (it == kv.end() || it->second.empty())
+        return fallback;
+    try {
+        size_t used = 0;
+        double v = std::stod(it->second, &used);
+        if (used != it->second.size())
+            throw std::invalid_argument(it->second);
+        return v;
+    } catch (const std::exception&) {
+        throw ConfigError(std::string("request field '") + key +
+                          "' = '" + it->second + "' is not a number");
+    }
+}
+
+std::string
+kv_str(const std::map<std::string, std::string>& kv, const char* key,
+       const std::string& fallback)
+{
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+std::string
+ServeRequest::to_wire() const
+{
+    std::map<std::string, std::string> kv;
+    kv["id"] = id;
+    kv["op"] = op;
+    if (!kernel.empty())
+        kv["kernel"] = kernel;
+    if (!machine.empty())
+        kv["machine"] = machine;
+    if (!sizes.empty())
+        kv["sizes"] = sizes;
+    if (deadline_ms > 0)
+        kv["deadline_ms"] = std::to_string(deadline_ms);
+    if (beam > 0)
+        kv["beam"] = std::to_string(beam);
+    if (rounds > 0)
+        kv["rounds"] = std::to_string(rounds);
+    if (restarts >= 0)
+        kv["restarts"] = std::to_string(restarts);
+    if (jit_topk >= 0)
+        kv["jit_topk"] = std::to_string(jit_topk);
+    if (validate >= 0)
+        kv["validate"] = std::to_string(validate);
+    if (!script.empty())
+        kv["script"] = script;
+    return encode_kv(kv);
+}
+
+ServeRequest
+ServeRequest::from_wire(const std::string& payload)
+{
+    auto kv = decode_kv(payload);
+    ServeRequest r;
+    r.id = kv_str(kv, "id", "");
+    r.op = kv_str(kv, "op", "");
+    r.kernel = kv_str(kv, "kernel", "");
+    r.machine = kv_str(kv, "machine", "AVX2");
+    r.sizes = kv_str(kv, "sizes", "");
+    r.deadline_ms = kv_double(kv, "deadline_ms", 0);
+    r.beam = kv_int(kv, "beam", 0);
+    r.rounds = kv_int(kv, "rounds", 0);
+    r.restarts = kv_int(kv, "restarts", -1);
+    r.jit_topk = kv_int(kv, "jit_topk", -1);
+    r.validate = kv_int(kv, "validate", -1);
+    r.script = kv_str(kv, "script", "");
+    return r;
+}
+
+std::string
+ServeResponse::to_wire() const
+{
+    std::map<std::string, std::string> kv = extra;
+    kv["id"] = id;
+    kv["status"] = status;
+    if (!detail.empty())
+        kv["detail"] = detail;
+    if (retry_after_ms > 0)
+        kv["retry_after_ms"] = std::to_string(retry_after_ms);
+    if (!script.empty())
+        kv["script"] = script;
+    char buf[64];
+    if (cost > 0) {
+        std::snprintf(buf, sizeof(buf), "%.17g", cost);
+        kv["cost"] = buf;
+    }
+    if (naive_cost > 0) {
+        std::snprintf(buf, sizeof(buf), "%.17g", naive_cost);
+        kv["naive_cost"] = buf;
+    }
+    kv["validated"] = validated ? "1" : "0";
+    kv["from_cache"] = from_cache ? "1" : "0";
+    std::snprintf(buf, sizeof(buf), "%.3f", elapsed_ms);
+    kv["elapsed_ms"] = buf;
+    return encode_kv(kv);
+}
+
+ServeResponse
+ServeResponse::from_wire(const std::string& payload)
+{
+    auto kv = decode_kv(payload);
+    ServeResponse r;
+    r.id = kv_str(kv, "id", "");
+    r.status = kv_str(kv, "status", "error");
+    r.detail = kv_str(kv, "detail", "");
+    r.retry_after_ms = kv_int(kv, "retry_after_ms", 0);
+    r.script = kv_str(kv, "script", "");
+    r.cost = kv_double(kv, "cost", 0);
+    r.naive_cost = kv_double(kv, "naive_cost", 0);
+    r.validated = kv_int(kv, "validated", 0) != 0;
+    r.from_cache = kv_int(kv, "from_cache", 0) != 0;
+    r.elapsed_ms = kv_double(kv, "elapsed_ms", 0);
+    for (const auto& [k, v] : kv) {
+        static const char* known[] = {
+            "id", "status", "detail", "retry_after_ms", "script",
+            "cost", "naive_cost", "validated", "from_cache",
+            "elapsed_ms"};
+        bool is_known = false;
+        for (const char* n : known)
+            is_known = is_known || k == n;
+        if (!is_known)
+            r.extra[k] = v;
+    }
+    return r;
+}
+
+}  // namespace serve
+}  // namespace exo2

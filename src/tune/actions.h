@@ -44,6 +44,18 @@
 namespace exo2 {
 namespace tune {
 
+/**
+ * Version of the tuner's action vocabulary and of the scheduling
+ * primitives it drives. Bump on ANY change that can alter what script
+ * a given (kernel, machine, sizes) tune produces or how a recorded
+ * script replays: new/removed actions, changed operand encodings,
+ * changed enumeration order, changed primitive semantics. The
+ * persistent tuning cache (src/cache/) keys its entries on this —
+ * a bump invalidates every cached script, which is exactly the safe
+ * behavior (DESIGN.md §8).
+ */
+constexpr int kScheduleLibraryVersion = 1;
+
 /** The tunable action space, parameterized by the machine. */
 struct TuneSpace
 {

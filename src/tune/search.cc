@@ -1,12 +1,15 @@
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <unordered_set>
 
+#include "src/cache/cache.h"
 #include "src/ir/errors.h"
 #include "src/tune/actions.h"
 #include "src/tune/tune.h"
+#include "src/util/env.h"
 #include "src/util/rng.h"
 #include "src/verify/cjit.h"
 #include "src/verify/oracle.h"
@@ -35,15 +38,6 @@ state_less(const State& a, const State& b)
     return a.digest < b.digest;
 }
 
-int64_t
-env_int(const char* name, int64_t fallback)
-{
-    const char* v = std::getenv(name);
-    if (!v || !*v)
-        return fallback;
-    return std::atoll(v);
-}
-
 /** Keep the best-`cap` scored states (winner candidates). */
 class TopPool
 {
@@ -70,6 +64,22 @@ class TopPool
 
 }  // namespace
 
+cache::TuneKey
+tune_cache_key(const ProcPtr& p, const Machine& machine,
+               const SizeEnv& tune_sizes)
+{
+    cache::TuneKey key;
+    key.proc_digest = proc_digest(p);
+    key.machine = machine.name();
+    key.isa = verify::native_isa_name(verify::cjit_env_isa());
+    for (const auto& [name, value] : tune_sizes) {
+        if (!key.sizes.empty())
+            key.sizes += ',';
+        key.sizes += name + "=" + std::to_string(value);
+    }
+    return key;
+}
+
 TuneResult
 autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
 {
@@ -78,16 +88,20 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
 
     TuneOpts opts = opts_in;
     opts.beam_width = static_cast<int>(
-        env_int("EXO2_TUNE_BEAM", opts.beam_width));
-    opts.max_rounds = static_cast<int>(
-        env_int("EXO2_TUNE_ROUNDS", opts.max_rounds));
-    opts.random_restarts = static_cast<int>(
-        env_int("EXO2_TUNE_RESTARTS", opts.random_restarts));
-    opts.jit_topk = static_cast<int>(
-        env_int("EXO2_TUNE_JIT_TOPK", opts.jit_topk));
-    opts.seed = static_cast<uint64_t>(
-        env_int("EXO2_TUNE_SEED", static_cast<int64_t>(opts.seed)));
-    bool verbose = env_int("EXO2_TUNE_VERBOSE", 0) != 0;
+        util::env_int("EXO2_TUNE_BEAM", opts.beam_width, 1, 1000000));
+    opts.max_rounds = static_cast<int>(util::env_int(
+        "EXO2_TUNE_ROUNDS", opts.max_rounds, 0, 1000000));
+    opts.random_restarts = static_cast<int>(util::env_int(
+        "EXO2_TUNE_RESTARTS", opts.random_restarts, 0, 1000000));
+    opts.jit_topk = static_cast<int>(util::env_int(
+        "EXO2_TUNE_JIT_TOPK", opts.jit_topk, 0, 1000000));
+    opts.seed = static_cast<uint64_t>(util::env_int(
+        "EXO2_TUNE_SEED", static_cast<int64_t>(opts.seed), 0,
+        std::numeric_limits<int64_t>::max()));
+    opts.deadline_seconds =
+        util::env_double("EXO2_TUNE_DEADLINE", opts.deadline_seconds,
+                         0.0, 1e9);
+    bool verbose = util::env_flag("EXO2_TUNE_VERBOSE", false);
     if (opts.beam_width < 1)
         opts.beam_width = 1;
     if (opts.measure_sizes.empty())
@@ -120,6 +134,74 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
 
     TuneResult result;
     CostSimCacheStats cache0 = cost_sim_cache_stats();
+
+    auto t_start = std::chrono::steady_clock::now();
+    auto past_deadline = [&] {
+        if (opts.deadline_seconds <= 0)
+            return false;
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t_start)
+                   .count() >= opts.deadline_seconds;
+    };
+
+    // -- Persistent tuning cache (DESIGN.md §8) -------------------------
+    // A hit replays the stored script and re-validates through the
+    // tri-oracle: the cache is trusted for *search effort*, never for
+    // correctness. Any failure to replay or validate quarantines the
+    // entry and falls through to a fresh search.
+    cache::TuneCache tcache(opts.use_cache ? cache::cache_dir_from_env()
+                                           : std::string());
+    cache::TuneKey tkey;
+    if (tcache.enabled()) {
+        tkey = tune_cache_key(p, machine, opts.tune_sizes);
+        if (auto hit = tcache.probe(tkey)) {
+            try {
+                std::vector<FuzzStep> script =
+                    verify::script_from_string(hit->script_text);
+                ProcPtr q = replay_script(p, script);
+                TuneResult r;
+                r.best = q;
+                r.script = std::move(script);
+                r.cost =
+                    simulate_cost_named(q, opts.tune_sizes, opts.cost)
+                        .cycles;
+                r.naive_cost =
+                    simulate_cost_named(p, opts.tune_sizes, opts.cost)
+                        .cycles;
+                r.from_cache = true;
+                if (opts.validate) {
+                    verify::TriOracleReport rep =
+                        verify::tri_oracle_check(p, q,
+                                                 opts.validate_sizes,
+                                                 opts.validate_seed);
+                    if (!rep.ok)
+                        throw VerifyError(
+                            "cached winner failed validation: " +
+                            rep.detail);
+                    r.validated = true;
+                }
+                if (verbose) {
+                    std::cerr << "autotune[" << p->name()
+                              << "] cache hit: " << r.cost
+                              << " cycles, " << r.script.size()
+                              << " steps\n";
+                }
+                return r;
+            } catch (const std::exception& e) {
+                // The entry passed its checksum but no longer replays
+                // or validates on this library — semantics drifted
+                // without a version bump, or damage the checksum
+                // cannot see. Quarantine it and search from scratch.
+                tcache.invalidate(tkey, "replay");
+                if (verbose) {
+                    std::cerr << "autotune[" << p->name()
+                              << "] cached entry rejected: " << e.what()
+                              << "\n";
+                }
+            }
+        }
+    }
+
     TuneSpace space = default_space(machine, opts.precision, opts.cost);
 
     auto score = [&](const ProcPtr& q) {
@@ -176,6 +258,10 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
         std::vector<TuneAction> storage;
         const std::vector<TuneAction>& actions = actions_for(st, &storage);
         for (const TuneAction& a : actions) {
+            if (past_deadline()) {
+                result.degraded = true;
+                return;
+            }
             uint64_t d = proc_digest(a.result);
             if (!seen.insert(d).second) {
                 result.stats.dedup_skips++;
@@ -197,6 +283,10 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
     double best_cost = init.cost;
     int stall = 0;
     for (int round = 1; round <= opts.max_rounds; round++) {
+        if (past_deadline()) {
+            result.degraded = true;
+            break;
+        }
         std::vector<State> candidates = beam;
         for (const State& st : beam)
             expand(st, &candidates);
@@ -223,10 +313,18 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
 
     // -- Random restarts: noisy greedy descents ------------------------
     for (int r = 1; r <= opts.random_restarts; r++) {
+        if (past_deadline()) {
+            result.degraded = true;
+            break;
+        }
         XorShiftRng rng(opts.seed * 0x9E3779B97F4A7C15ull +
                         static_cast<uint64_t>(r));
         State cur = init;
         for (int round = 1; round <= opts.max_rounds; round++) {
+            if (past_deadline()) {
+                result.degraded = true;
+                break;
+            }
             std::vector<TuneAction> storage;
             const std::vector<TuneAction>& actions =
                 actions_for(cur, &storage);
@@ -269,6 +367,12 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
         verify::SandboxLimits limits = verify::SandboxLimits::defaults();
         bool sandboxed = verify::sandbox_enabled();
         for (size_t i = 0; i < k; i++) {
+            if (past_deadline()) {
+                // Skip the remaining measurements; the states already
+                // measured keep their wall-clock order.
+                result.degraded = true;
+                break;
+            }
             try {
                 verify::CompiledProc cp(ranked[i].proc);
                 verify::OracleInputs in = verify::make_inputs(
@@ -347,10 +451,16 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
     }
 
     // -- Tri-oracle validation ------------------------------------------
+    // Past the deadline only the current leader is checked: a degraded
+    // answer should cost one tri-oracle pass, not a walk down the
+    // whole pool.
     size_t chosen = 0;
     if (opts.validate) {
         bool found = false;
-        for (size_t i = 0; i < ranked.size(); i++) {
+        size_t limit =
+            result.degraded ? std::min<size_t>(1, ranked.size())
+                            : ranked.size();
+        for (size_t i = 0; i < limit; i++) {
             verify::TriOracleReport rep = verify::tri_oracle_check(
                 p, ranked[i].proc, opts.validate_sizes,
                 opts.validate_seed);
@@ -379,6 +489,18 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
     result.script = win.script;
     result.cost = win.cost;
     result.measured_seconds = measured[chosen];
+
+    // -- Publish the winner (DESIGN.md §8) ------------------------------
+    // Only full-search, tri-oracle-validated winners are stored: a
+    // degraded (deadline-cut) result would poison every later request
+    // for the same key with a weaker schedule.
+    if (tcache.enabled() && result.validated && !result.degraded) {
+        cache::TuneEntry entry;
+        entry.script_text = verify::script_to_string(result.script);
+        entry.cost = result.cost;
+        entry.validated = true;
+        tcache.store(tkey, entry);
+    }
 
     CostSimCacheStats cache1 = cost_sim_cache_stats();
     result.stats.cost_cache_hits = cache1.hits - cache0.hits;

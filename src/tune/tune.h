@@ -19,13 +19,19 @@
  * Environment overrides (all optional, applied on top of TuneOpts;
  * see DESIGN.md §6): EXO2_TUNE_BEAM, EXO2_TUNE_ROUNDS,
  * EXO2_TUNE_RESTARTS, EXO2_TUNE_JIT_TOPK, EXO2_TUNE_SEED,
- * EXO2_TUNE_VERBOSE.
+ * EXO2_TUNE_VERBOSE, EXO2_TUNE_DEADLINE.
+ *
+ * Persistence (DESIGN.md §8): when EXO2_CACHE_DIR is set, validated
+ * winners are published to the on-disk tuning cache keyed on
+ * (proc digest, machine, native ISA, tune sizes) and replayed —
+ * re-validated through the tri-oracle — on the next identical request.
  */
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/cache/cache.h"
 #include "src/ir/proc.h"
 #include "src/machine/cost_sim.h"
 #include "src/machine/machine.h"
@@ -79,6 +85,18 @@ struct TuneOpts
     /** Sizes for validation; empty = `tune_sizes`. */
     SizeEnv validate_sizes;
     uint64_t validate_seed = 4242;
+
+    // -- Service behavior -------------------------------------------------
+    /** Soft wall-clock budget in seconds (0 = unlimited). When the
+     *  budget runs out mid-search the tuner stops expanding, skips the
+     *  remaining JIT measurements, validates only the current leader,
+     *  and returns best-so-far with `TuneResult::degraded` set — a
+     *  deadline produces a usable (if weaker) schedule, never an
+     *  error. Env override: EXO2_TUNE_DEADLINE. */
+    double deadline_seconds = 0.0;
+    /** Consult/fill the persistent tuning cache when EXO2_CACHE_DIR is
+     *  set (cache.h). Off = this call neither reads nor publishes. */
+    bool use_cache = true;
 };
 
 /** Search-effort counters for one `autotune` call. */
@@ -116,6 +134,12 @@ struct TuneResult
     /** Whether `best` passed the tri-oracle (always false when
      *  `opts.validate` is off). */
     bool validated = false;
+    /** The deadline expired mid-search: `best` is the best schedule
+     *  found so far, not the end of the search. */
+    bool degraded = false;
+    /** `best` was replayed from the persistent tuning cache instead of
+     *  searched for (still tri-oracle-validated when opts.validate). */
+    bool from_cache = false;
     TuneStats stats;
 };
 
@@ -142,6 +166,18 @@ ProcPtr apply_tune_step(const ProcPtr& p, const FuzzStep& step);
 /** Fold `apply_tune_step` over a whole script. */
 ProcPtr replay_script(const ProcPtr& p,
                       const std::vector<FuzzStep>& script);
+
+/**
+ * The persistent-cache identity of a tuning request: proc_digest(p),
+ * the machine's name, the environment-selected native ISA
+ * (EXO2_NATIVE_ISA — measured refinement and validation both honour
+ * it, so results for different ISAs must not alias), and the
+ * canonical rendering of `tune_sizes` ("K=48,M=48,N=48"; SizeEnv is
+ * an ordered map, so the rendering is unique). Shared by `autotune`
+ * and the scheduling daemon.
+ */
+cache::TuneKey tune_cache_key(const ProcPtr& p, const Machine& machine,
+                              const SizeEnv& tune_sizes);
 
 }  // namespace tune
 }  // namespace exo2

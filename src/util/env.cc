@@ -1,0 +1,99 @@
+#include "src/util/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+namespace util {
+
+namespace {
+
+/** The raw value, or nullptr when unset/empty (both mean "use the
+ *  fallback": an empty export is how shell scripts un-set a knob). */
+const char*
+raw(const char* name)
+{
+    const char* v = std::getenv(name);
+    return v && *v ? v : nullptr;
+}
+
+[[noreturn]] void
+bad_value(const char* name, const char* value, const std::string& why)
+{
+    throw ConfigError(std::string(name) + "='" + value + "': " + why);
+}
+
+}  // namespace
+
+int64_t
+env_int(const char* name, int64_t fallback, int64_t min, int64_t max)
+{
+    const char* v = raw(name);
+    if (!v)
+        return fallback;
+    errno = 0;
+    char* end = nullptr;
+    long long parsed = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0')
+        bad_value(name, v, "not an integer");
+    if (errno == ERANGE)
+        bad_value(name, v, "out of 64-bit range");
+    if (parsed < min || parsed > max) {
+        bad_value(name, v,
+                  "out of range [" + std::to_string(min) + ", " +
+                      std::to_string(max) + "]");
+    }
+    return parsed;
+}
+
+double
+env_double(const char* name, double fallback, double min, double max)
+{
+    const char* v = raw(name);
+    if (!v)
+        return fallback;
+    errno = 0;
+    char* end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0')
+        bad_value(name, v, "not a number");
+    if (errno == ERANGE)
+        bad_value(name, v, "out of double range");
+    if (!(parsed >= min && parsed <= max)) {  // also rejects NaN
+        bad_value(name, v,
+                  "out of range [" + std::to_string(min) + ", " +
+                      std::to_string(max) + "]");
+    }
+    return parsed;
+}
+
+bool
+env_flag(const char* name, bool fallback)
+{
+    const char* v = raw(name);
+    if (!v)
+        return fallback;
+    std::string s;
+    for (const char* p = v; *p; p++)
+        s += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    if (s == "1" || s == "on" || s == "true" || s == "yes")
+        return true;
+    if (s == "0" || s == "off" || s == "false" || s == "no")
+        return false;
+    bad_value(name, v, "not a boolean (expected 0/1, on/off, "
+                       "true/false, or yes/no)");
+}
+
+std::string
+env_string(const char* name, const std::string& fallback)
+{
+    const char* v = raw(name);
+    return v ? v : fallback;
+}
+
+}  // namespace util
+}  // namespace exo2

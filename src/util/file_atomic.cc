@@ -1,0 +1,123 @@
+#include "src/util/file_atomic.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+namespace exo2 {
+namespace util {
+
+namespace {
+
+/** Per-process sequence number: several threads writing the same
+ *  target concurrently must not collide on the temp name. */
+std::atomic<uint64_t> g_tmp_seq{0};
+
+}  // namespace
+
+bool
+write_file_atomic(const std::string& path, const std::string& content,
+                  bool durable)
+{
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                      "." + std::to_string(g_tmp_seq.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << content;
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    // Flush file contents to disk before the rename makes it visible.
+    int fd = ::open(tmp.c_str(), O_WRONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (durable) {
+        // Persist the rename: fsync the directory entry.
+        size_t slash = path.find_last_of('/');
+        std::string dir =
+            slash == std::string::npos ? "." : path.substr(0, slash);
+        int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+        if (dfd >= 0) {
+            ::fsync(dfd);
+            ::close(dfd);
+        }
+    }
+    return true;
+}
+
+bool
+read_file_text(const std::string& path, std::string* out)
+{
+    out->clear();
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream os;
+    os << in.rdbuf();
+    *out = os.str();
+    return true;
+}
+
+int
+sweep_stale_tmp_files(const std::string& dir, double max_age_seconds)
+{
+    DIR* d = opendir(dir.c_str());
+    if (!d)
+        return 0;
+    int removed = 0;
+    std::time_t now = std::time(nullptr);
+    while (struct dirent* ent = readdir(d)) {
+        std::string name = ent->d_name;
+        size_t mark = name.find(".tmp.");
+        if (mark == std::string::npos)
+            continue;
+        // Name shape: <target>.tmp.<pid>.<seq>
+        size_t pid_at = mark + 5;
+        size_t dot = name.find('.', pid_at);
+        char* end = nullptr;
+        long pid = std::strtol(name.c_str() + pid_at, &end, 10);
+        bool pid_parsed = end && end != name.c_str() + pid_at &&
+                          dot != std::string::npos &&
+                          end == name.c_str() + dot;
+        std::string full = dir + "/" + name;
+
+        bool stale = false;
+        if (pid_parsed && pid > 0) {
+            // The writer is gone (ESRCH) -> it died mid-write.
+            stale = ::kill(static_cast<pid_t>(pid), 0) != 0 &&
+                    errno == ESRCH;
+        }
+        if (!stale) {
+            struct stat st;
+            if (::stat(full.c_str(), &st) == 0 &&
+                now - st.st_mtime > max_age_seconds)
+                stale = true;
+        }
+        if (stale && ::unlink(full.c_str()) == 0)
+            removed++;
+    }
+    closedir(d);
+    return removed;
+}
+
+}  // namespace util
+}  // namespace exo2

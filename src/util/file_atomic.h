@@ -1,0 +1,55 @@
+#ifndef EXO2_UTIL_FILE_ATOMIC_H_
+#define EXO2_UTIL_FILE_ATOMIC_H_
+
+/**
+ * @file
+ * The one audited atomic-write path (DESIGN.md §8), shared by the
+ * persistent caches (src/cache/), the scheduling daemon (src/serve/),
+ * and every benchmark JSON writer (bench/bench_util.h forwards here).
+ *
+ * Crash-only discipline: a file either keeps its previous contents or
+ * atomically gains the new ones — a writer killed at any instant
+ * (including `kill -9` mid-write) can leave at most an orphaned
+ * `*.tmp.<pid>.*` sibling, never a truncated or interleaved target.
+ * `sweep_stale_tmp_files` reclaims those orphans on the next startup,
+ * completing the recovery story.
+ */
+
+#include <string>
+
+namespace exo2 {
+namespace util {
+
+/**
+ * Write `content` to `path` atomically: unique temp file in the same
+ * directory, fsync of the file, rename over `path`, then (when
+ * `durable` is set) fsync of the containing directory so the rename
+ * itself survives a power cut. Returns false (and removes the temp
+ * file) on any I/O failure; never throws.
+ */
+bool write_file_atomic(const std::string& path,
+                       const std::string& content,
+                       bool durable = false);
+
+/**
+ * Read the whole file into `out`. Returns false when the file cannot
+ * be opened (out is cleared). A concurrent atomic writer can never
+ * make this observe a torn state: renames replace the name, not the
+ * bytes of an open file.
+ */
+bool read_file_text(const std::string& path, std::string* out);
+
+/**
+ * Remove `dir`-level `*.tmp.<pid>.*` orphans left by writers that died
+ * mid-write. An orphan is reclaimed when its embedded pid is no longer
+ * alive, or unconditionally when it is older than `max_age_seconds`
+ * (pids recycle; a stale tmp from a recycled pid still goes away).
+ * Returns the number of files removed. Never throws.
+ */
+int sweep_stale_tmp_files(const std::string& dir,
+                          double max_age_seconds = 3600.0);
+
+}  // namespace util
+}  // namespace exo2
+
+#endif  // EXO2_UTIL_FILE_ATOMIC_H_

@@ -14,8 +14,10 @@
 #include <mutex>
 #include <sstream>
 
+#include "src/cache/cache.h"
 #include "src/codegen/c_codegen.h"
 #include "src/ir/errors.h"
+#include "src/util/env.h"
 #include "src/verify/marshal.h"
 
 namespace exo2 {
@@ -204,12 +206,7 @@ remove_tree(const std::string& path)
 double
 cjit_timeout_seconds()
 {
-    if (const char* e = std::getenv("EXO2_CJIT_TIMEOUT")) {
-        double v = std::atof(e);
-        if (v > 0)
-            return v;
-    }
-    return 60.0;
+    return util::env_double("EXO2_CJIT_TIMEOUT", 60.0, 0.01, 86400.0);
 }
 
 /** Outcome of one (possibly retried) compiler run. */
@@ -359,6 +356,14 @@ CompiledProc::CompiledProc(const ProcPtr& p, NativeIsa isa) : proc_(p)
     // (intrinsics) unit whose compile fails — unsupported -m flags,
     // an injected ISA fault, a toolchain missing immintrin.h — is
     // retried as portable scalar C before giving up.
+    //
+    // Persistent compile cache (DESIGN.md §8): when EXO2_CACHE_DIR is
+    // set, a previously built object for the same (generated source,
+    // compiler flags, compiler identity) is dlopened directly instead
+    // of re-running the compiler. A cached object that fails to load
+    // is quarantined and the unit rebuilt from source.
+    cache::CompileCache ccache;
+    bool cache_probe_ok = true;  // cleared after a cached load failure
     RuntimeFault last_fault;
     for (;;) {
         int avail = isa == NativeIsa::Avx512 ? 64
@@ -427,61 +432,102 @@ CompiledProc::CompiledProc(const ProcPtr& p, NativeIsa isa) : proc_(p)
         argv.push_back(so_path);
         argv.push_back(c_path);
 
-        bool injected_isa_fail =
-            native_ && fault_should_inject(FaultSite::IsaFail);
-        CompileOutcome co;
-        if (injected_isa_fail) {
-            co.ok = false;
-            co.fault.kind = FaultKind::CompileError;
-            co.fault.phase = FaultPhase::Compile;
-            co.fault.exit_code = 1;
-            co.fault.detail = "injected native-ISA compile failure";
-        } else {
-            co = compile_unit(argv, err_path);
+        // Everything that shapes the object is in the cache key: the
+        // exact generated source (after any fault planting), the full
+        // compiler flag set, and the compiler's identity.
+        cache::CompileKey ckey;
+        if (ccache.enabled()) {
+            ckey.source_digest = cache::fnv1a64(src_);
+            for (size_t i = 1; i + 3 < argv.size(); i++) {
+                if (i > 1)
+                    ckey.isa_flags += ' ';
+                ckey.isa_flags += argv[i];
+            }
+            ckey.compiler_id = cache::compiler_identity(cc);
         }
-        if (co.ok)
-            break;
-        last_fault = co.fault;
 
-        if (native_) {
-            // Degrade and retry as scalar rather than failing the
-            // request outright.
-            std::string reason = co.fault.detail;
-            if (reason.size() > 400)
-                reason.resize(400);
-            record_downgrade(p->name(), isa, NativeIsa::Scalar,
-                             std::string(fault_kind_name(co.fault.kind)) +
-                                 ": " + reason);
-            isa = NativeIsa::Scalar;
+        from_cache_ = false;
+        std::string load_path = so_path;
+        if (ccache.enabled() && cache_probe_ok) {
+            if (auto hit = ccache.probe(ckey)) {
+                load_path = *hit;
+                from_cache_ = true;
+            }
+        }
+
+        if (!from_cache_) {
+            bool injected_isa_fail =
+                native_ && fault_should_inject(FaultSite::IsaFail);
+            CompileOutcome co;
+            if (injected_isa_fail) {
+                co.ok = false;
+                co.fault.kind = FaultKind::CompileError;
+                co.fault.phase = FaultPhase::Compile;
+                co.fault.exit_code = 1;
+                co.fault.detail = "injected native-ISA compile failure";
+            } else {
+                co = compile_unit(argv, err_path);
+            }
+            if (!co.ok) {
+                last_fault = co.fault;
+                if (native_) {
+                    // Degrade and retry as scalar rather than failing
+                    // the request outright.
+                    std::string reason = co.fault.detail;
+                    if (reason.size() > 400)
+                        reason.resize(400);
+                    record_downgrade(
+                        p->name(), isa, NativeIsa::Scalar,
+                        std::string(fault_kind_name(co.fault.kind)) +
+                            ": " + reason);
+                    isa = NativeIsa::Scalar;
+                    continue;
+                }
+                last_fault.detail +=
+                    "\n--- generated source ---\n" + src_;
+                throw FaultError(last_fault);
+            }
+            if (ccache.enabled())
+                ccache.store(ckey, so_path);
+        }
+
+        if (fault_should_inject(FaultSite::DlopenFail)) {
+            // Load the C source instead of the built object: a genuine
+            // dlopen failure with a real dlerror, through the real
+            // path.
+            load_path = c_path;
+        }
+        handle_ = dlopen(load_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+        const char* err = nullptr;
+        if (handle_) {
+            entry_ = reinterpret_cast<void (*)(void**)>(
+                dlsym(handle_, "exo2_run"));
+            if (!entry_) {
+                err = "entry point exo2_run not found";
+                dlclose(handle_);
+                handle_ = nullptr;
+            }
+        } else {
+            err = dlerror();  // clears the error state
+        }
+        if (entry_)
+            break;
+        if (from_cache_) {
+            // Recompile-on-corruption fallback: a cached object that
+            // passed its checksum but will not load (damage beyond the
+            // covered bytes, an incompatible object format, or an
+            // injected dlopen fault) is quarantined and the unit is
+            // rebuilt from source on the next pass.
+            ccache.invalidate(ckey, "load");
+            cache_probe_ok = false;
+            from_cache_ = false;
             continue;
         }
-        last_fault.detail += "\n--- generated source ---\n" + src_;
-        throw FaultError(last_fault);
-    }
-
-    if (fault_should_inject(FaultSite::DlopenFail)) {
-        // Load the C source instead of the built object: a genuine
-        // dlopen failure with a real dlerror, through the real path.
-        so_path = c_path;
-    }
-    handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
-    if (!handle_) {
-        const char* err = dlerror();  // clears the error state
         RuntimeFault f;
         f.kind = FaultKind::LoadError;
         f.phase = FaultPhase::Load;
         f.detail = std::string("dlopen failed: ") +
-                   (err ? err : "unknown");
-        throw FaultError(f);
-    }
-    entry_ = reinterpret_cast<void (*)(void**)>(dlsym(handle_, "exo2_run"));
-    if (!entry_) {
-        dlclose(handle_);
-        handle_ = nullptr;
-        RuntimeFault f;
-        f.kind = FaultKind::LoadError;
-        f.phase = FaultPhase::Load;
-        f.detail = "entry point exo2_run not found in " + so_path;
+                   (err ? err : "unknown") + " (" + load_path + ")";
         throw FaultError(f);
     }
 }

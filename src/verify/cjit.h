@@ -195,12 +195,18 @@ class CompiledProc
      *  degradation). */
     NativeIsa isa() const { return isa_; }
 
+    /** Whether the loaded object came from the persistent compile
+     *  cache (DESIGN.md §8) instead of a fresh compiler run. Always
+     *  false when EXO2_CACHE_DIR is unset. */
+    bool loaded_from_cache() const { return from_cache_; }
+
   private:
     ProcPtr proc_;
     std::string src_;
     TempDir dir_;
     bool native_ = false;
     NativeIsa isa_ = NativeIsa::Scalar;
+    bool from_cache_ = false;
     void* handle_ = nullptr;
     void (*entry_)(void**) = nullptr;
 };

@@ -249,7 +249,12 @@ script_from_string(const std::string& text)
                                : text.substr(pos, nl - pos);
         while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
             line.pop_back();
-        if (!line.empty())
+        size_t first = line.find_first_not_of(" \t");
+        line = first == std::string::npos ? std::string()
+                                          : line.substr(first);
+        // '#' lines are comments: cache entries and hand-edited repro
+        // scripts may annotate steps without breaking replay.
+        if (!line.empty() && line[0] != '#')
             out.push_back(step_from_string(line));
         if (nl == std::string::npos)
             break;

@@ -59,7 +59,9 @@ FuzzStep step_from_string(const std::string& text);
 /** Render a whole schedule script, one step per line. */
 std::string script_to_string(const std::vector<FuzzStep>& steps);
 
-/** Parse a script: one step per line, blank lines ignored. */
+/** Parse a script: one step per line; blank lines, `#` comment
+ *  lines, surrounding whitespace, and trailing CRs are ignored, so
+ *  annotated repro files and cache entries replay unchanged. */
 std::vector<FuzzStep> script_from_string(const std::string& text);
 
 /**

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "src/util/env.h"
 #include "src/util/rng.h"
 #include "src/verify/marshal.h"
 
@@ -152,22 +153,15 @@ SandboxLimits
 SandboxLimits::defaults()
 {
     SandboxLimits l;
-    if (const char* e = std::getenv("EXO2_SANDBOX_WALL")) {
-        double v = std::atof(e);
-        if (v > 0)
-            l.wall_seconds = v;
-    }
+    l.wall_seconds = util::env_double("EXO2_SANDBOX_WALL",
+                                      l.wall_seconds, 0.01, 86400.0);
     return l;
 }
 
 bool
 sandbox_enabled()
 {
-    const char* e = std::getenv("EXO2_SANDBOX");
-    if (!e || !*e)
-        return true;
-    std::string v = e;
-    return !(v == "0" || v == "off" || v == "OFF");
+    return util::env_flag("EXO2_SANDBOX", true);
 }
 
 namespace {
@@ -346,6 +340,9 @@ spec_field(FaultSpec& s, const std::string& key)
     if (key == "sigfpe") return &s.sigfpe;
     if (key == "sigill") return &s.sigill;
     if (key == "hang") return &s.hang;
+    if (key == "cache_corrupt") return &s.cache_corrupt;
+    if (key == "cache_stale") return &s.cache_stale;
+    if (key == "queue_full") return &s.queue_full;
     return nullptr;
 }
 
@@ -394,7 +391,8 @@ parse_fault_spec(const std::string& text)
                 "fault spec: unknown key '" + key +
                 "' (expected seed, slow_seconds, compile_fail, "
                 "compile_slow, dlopen_fail, isa_fail, sigsegv, sigfpe, "
-                "sigill, or hang)");
+                "sigill, hang, cache_corrupt, cache_stale, or "
+                "queue_full)");
         }
         if (d < 0 || d > 1)
             throw VerifyError("fault spec: probability for '" + key +
@@ -411,7 +409,8 @@ fault_spec_to_string(const FaultSpec& spec)
     FaultSpec mut = spec;
     for (const char* key :
          {"compile_fail", "compile_slow", "dlopen_fail", "isa_fail",
-          "sigsegv", "sigfpe", "sigill", "hang"}) {
+          "sigsegv", "sigfpe", "sigill", "hang", "cache_corrupt",
+          "cache_stale", "queue_full"}) {
         double v = *spec_field(mut, key);
         if (v > 0) {
             char buf[48];
@@ -497,6 +496,18 @@ fault_should_inject(FaultSite site)
       case FaultSite::Hang:
         p = s.hang;
         counter = &g_injector.counts.hang;
+        break;
+      case FaultSite::CacheCorrupt:
+        p = s.cache_corrupt;
+        counter = &g_injector.counts.cache_corrupt;
+        break;
+      case FaultSite::CacheStale:
+        p = s.cache_stale;
+        counter = &g_injector.counts.cache_stale;
+        break;
+      case FaultSite::QueueFull:
+        p = s.queue_full;
+        counter = &g_injector.counts.queue_full;
         break;
     }
     if (p <= 0)

@@ -144,6 +144,18 @@ struct FaultSpec
     double sigfpe = 0;        ///< kernel entry divides by zero
     double sigill = 0;        ///< kernel entry executes a trap
     double hang = 0;          ///< kernel entry spins forever
+    /** Structural cache-fault injection (DESIGN.md §8): a fired
+     *  cache_corrupt bit-flips or truncates the just-written on-disk
+     *  cache entry; a fired cache_stale rewrites its header with an
+     *  outdated library version. Either way the *real* detection,
+     *  quarantine, and miss-recovery paths run against real damaged
+     *  files. */
+    double cache_corrupt = 0;
+    double cache_stale = 0;
+    /** Service-fault injection: a fired queue_full makes the daemon's
+     *  bounded queue report saturation for one admission, driving the
+     *  real REJECTED/backpressure response path. */
+    double queue_full = 0;
     /** How long an injected slow compile blocks (subject to the
      *  compile timeout, which is the point). */
     double slow_seconds = 30.0;
@@ -152,17 +164,21 @@ struct FaultSpec
     {
         return compile_fail > 0 || compile_slow > 0 || dlopen_fail > 0 ||
                isa_fail > 0 || sigsegv > 0 || sigfpe > 0 || sigill > 0 ||
-               hang > 0;
+               hang > 0 || cache_corrupt > 0 || cache_stale > 0 ||
+               queue_full > 0;
     }
 };
 
 /**
  * Parse a spec string: comma-separated `key=value` pairs where key is
  * one of seed, slow_seconds, or a fault-class name (compile_fail,
- * compile_slow, dlopen_fail, isa_fail, sigsegv, sigfpe, sigill, hang)
- * and value is a probability in [0, 1] (seed: an integer). Example:
- * `"seed=42,compile_fail=0.3,sigsegv=0.2,hang=0.1"`. Throws
- * VerifyError on unknown keys or out-of-range values.
+ * compile_slow, dlopen_fail, isa_fail, sigsegv, sigfpe, sigill, hang,
+ * cache_corrupt, cache_stale, queue_full) and value is a probability
+ * in [0, 1] (seed: an integer). Example:
+ * `"seed=42,compile_fail=0.3,sigsegv=0.2,hang=0.1"`. Unknown keys are
+ * rejected with a VerifyError naming the key and listing the accepted
+ * ones — a typo'd fault class must never silently inject nothing —
+ * as are out-of-range values.
  */
 FaultSpec parse_fault_spec(const std::string& text);
 
@@ -190,6 +206,9 @@ enum class FaultSite {
     Sigfpe,
     Sigill,
     Hang,
+    CacheCorrupt,
+    CacheStale,
+    QueueFull,
 };
 
 /** Draw the injection RNG for `site`; true = inject now. Increments
@@ -208,11 +227,15 @@ struct FaultInjectionCounts
     uint64_t sigfpe = 0;
     uint64_t sigill = 0;
     uint64_t hang = 0;
+    uint64_t cache_corrupt = 0;
+    uint64_t cache_stale = 0;
+    uint64_t queue_full = 0;
 
     uint64_t total() const
     {
         return compile_fail + compile_slow + dlopen_fail + isa_fail +
-               sigsegv + sigfpe + sigill + hang;
+               sigsegv + sigfpe + sigill + hang + cache_corrupt +
+               cache_stale + queue_full;
     }
 };
 
