@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "src/frontend/parser.h"
 #include "src/kernels/blas.h"
 #include "src/kernels/image.h"
 #include "src/machine/machine.h"
@@ -253,6 +254,8 @@ main(int argc, char** argv)
 
     bool first = true;
     int hits = 0;
+    int lint_checked_total = 0;
+    int lint_pruned_total = 0;
     for (Case& c : cases) {
         c.opts.beam_width = 5;
         c.opts.random_restarts = 2;
@@ -260,6 +263,8 @@ main(int argc, char** argv)
         c.opts.measure_sizes = c.bench_sizes;
 
         tune::TuneResult r = tune::autotune(c.naive, m, c.opts);
+        lint_checked_total += r.stats.lint_checked;
+        lint_pruned_total += r.stats.lint_pruned;
 
         bool replay_ok =
             proc_digest(tune::replay_script(c.naive, r.script)) ==
@@ -293,9 +298,12 @@ main(int argc, char** argv)
             "     \"naive_gflops\": %.3f, \"hand_gflops\": %.3f, "
             "\"tuned_gflops\": %.3f, \"tuned_vs_hand\": %.3f,\n"
             "     \"sim_cycles_naive\": %.0f, \"sim_cycles_tuned\": "
-            "%.0f, \"states_scored\": %d",
+            "%.0f, \"states_scored\": %d,\n"
+            "     \"lint_checked\": %d, \"lint_pruned\": %d, "
+            "\"lint_seconds\": %.4f",
             c.flops, g_naive, g_hand, g_tuned, ratio, r.naive_cost,
-            r.cost, r.stats.states_scored);
+            r.cost, r.stats.states_scored, r.stats.lint_checked,
+            r.stats.lint_pruned, r.stats.lint_seconds);
         out << (first ? "" : ",\n") << "    {\"name\": \""
             << json_escape(c.name) << "\", \"sizes\": \""
             << json_escape(env_str(c.bench_sizes)) << "\", " << nums
@@ -306,7 +314,51 @@ main(int argc, char** argv)
             << "\"}";
         first = false;
     }
-    out << "\n  ],\n  \"tuned_at_80pct_of_hand\": " << hits << "\n}\n";
+    // Lint-gate demonstration (DESIGN.md §9): the five kernels above
+    // are correct, so their sound rewrites prune nothing — checked > 0,
+    // pruned == 0 is itself the acceptance property (winners bit-for-
+    // bit unaffected). To show the gate fires, tune a kernel carrying
+    // a proven out-of-bounds fencepost store: every rewrite inherits
+    // the violation, so every candidate is pruned before a single JIT
+    // compile is paid for.
+    {
+        ProcPtr oob = parse_proc(R"(
+def saxpy_fencepost(n: size, a: f32, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] = y[i] + a * x[i]
+    y[n] = 0.0
+)");
+        tune::TuneOpts o;
+        o.tune_sizes = {{"n", 2048}};
+        o.beam_width = 4;
+        o.max_rounds = 4;
+        o.jit_topk = 0;
+        o.validate = false;
+        o.use_cache = false;
+        tune::TuneResult r = tune::autotune(oob, m, o);
+        lint_checked_total += r.stats.lint_checked;
+        lint_pruned_total += r.stats.lint_pruned;
+        std::cerr << "lint gate: " << lint_pruned_total << "/"
+                  << lint_checked_total
+                  << " candidates pruned pre-JIT across the run ("
+                  << r.stats.lint_pruned << "/" << r.stats.lint_checked
+                  << " from the seeded out-of-bounds kernel)\n";
+        char lg[256];
+        std::snprintf(
+            lg, sizeof(lg),
+            "  \"lint_gate\": {\"checked\": %d, \"pruned\": %d, "
+            "\"pruned_fraction\": %.4f,\n"
+            "    \"seeded_oob_checked\": %d, \"seeded_oob_pruned\": "
+            "%d},\n",
+            lint_checked_total, lint_pruned_total,
+            lint_checked_total
+                ? static_cast<double>(lint_pruned_total) /
+                      lint_checked_total
+                : 0.0,
+            r.stats.lint_checked, r.stats.lint_pruned);
+        out << "\n  ],\n" << lg;
+    }
+    out << "  \"tuned_at_80pct_of_hand\": " << hits << "\n}\n";
     if (!bench::write_file_atomic(out_path, out.str())) {
         std::cerr << "failed to write " << out_path << "\n";
         return 3;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "src/analysis/memo.h"
@@ -608,21 +609,81 @@ blocks_commute(const Context& ctx, const std::vector<StmtPtr>& b1,
     return true;
 }
 
+const char*
+access_kind_name(AccessKind k)
+{
+    switch (k) {
+      case AccessKind::Read:
+        return "read";
+      case AccessKind::Write:
+        return "write";
+      case AccessKind::Reduce:
+        return "reduce";
+    }
+    return "?";
+}
+
+std::string
+describe_access(const Access& a)
+{
+    std::string s = std::string(access_kind_name(a.kind)) + " " + a.buf;
+    if (a.whole_buffer) {
+        s += "[...]";
+    } else if (!a.idx.empty()) {
+        s += "[";
+        for (size_t d = 0; d < a.idx.size(); d++) {
+            if (d)
+                s += ", ";
+            s += print_expr(a.idx[d]);
+        }
+        s += "]";
+    }
+    return s;
+}
+
 namespace {
 
-bool
-cross_iteration_conflict(const Context& ctx, const StmtPtr& loop,
-                         bool reductions_ok, std::string* why)
+std::string
+conflict_pair(const Access& a, const Access& b)
 {
+    return describe_access(a) + " vs " + describe_access(b);
+}
+
+/**
+ * Collect every cross-iteration conflict of `loop` into `out` (which
+ * may be null when only the boolean answer matters; collection then
+ * stops at the first conflict). Returns true iff a conflict was found.
+ */
+bool
+cross_iteration_conflicts(const Context& ctx, const StmtPtr& loop,
+                          bool reductions_ok,
+                          std::vector<LoopConflict>* out)
+{
+    bool found = false;
+    // The pair loop below visits ordered pairs; report each unordered
+    // pair once.
+    std::set<std::pair<std::string, std::string>> seen;
+    auto emit = [&](const Access& a, const Access& b, std::string detail) {
+        found = true;
+        if (out) {
+            auto key = std::minmax(describe_access(a), describe_access(b));
+            if (seen.insert(key).second)
+                out->push_back(LoopConflict{a.buf, a, b, std::move(detail)});
+        }
+    };
     auto accs = collect_accesses_block(loop->body());
     const std::string& iter = loop->iter();
     // Buffers allocated inside the body are private per iteration and
     // carry nothing across iterations.
     auto locals = collect_allocs(loop->body());
     for (const auto& a : accs) {
+        if (out == nullptr && found)
+            break;
         if (std::find(locals.begin(), locals.end(), a.buf) != locals.end())
             continue;
         for (const auto& b : accs) {
+            if (out == nullptr && found)
+                break;
             if (a.buf != b.buf)
                 continue;
             if (a.kind == AccessKind::Read && b.kind == AccessKind::Read)
@@ -632,19 +693,22 @@ cross_iteration_conflict(const Context& ctx, const StmtPtr& loop,
                 continue;
             }
             if (a.whole_buffer || b.whole_buffer) {
-                if (why)
-                    *why = "opaque access to '" + a.buf + "'";
-                return true;
+                emit(a, b,
+                     "opaque access to '" + a.buf + "' across iterations of '" +
+                         iter + "': " + conflict_pair(a, b));
+                continue;
             }
             if (a.idx.empty() && b.idx.empty()) {
-                if (why)
-                    *why = "scalar '" + a.buf + "' carried across iterations";
-                return true;
+                emit(a, b,
+                     "scalar '" + a.buf + "' carried across iterations of '" +
+                         iter + "': " + conflict_pair(a, b));
+                continue;
             }
             if (a.idx.size() != b.idx.size()) {
-                if (why)
-                    *why = "shape mismatch on '" + a.buf + "'";
-                return true;
+                emit(a, b,
+                     "shape mismatch on '" + a.buf + "': " +
+                         conflict_pair(a, b));
+                continue;
             }
             // Rename iteration variables apart: i (in a) vs i' (in b),
             // with i < i' (covers both orders by symmetry of the pair
@@ -687,18 +751,40 @@ cross_iteration_conflict(const Context& ctx, const StmtPtr& loop,
                     affine_sub(to_affine(ra.idx[d]), to_affine(rb.idx[d])));
             }
             if (!sys.infeasible()) {
-                if (why) {
-                    *why = "possible cross-iteration dependence on '" +
-                           a.buf + "'";
-                }
-                return true;
+                emit(a, b,
+                     "possible cross-iteration dependence on '" + a.buf +
+                         "': " + conflict_pair(a, b) +
+                         " may touch the same cell in two distinct "
+                         "iterations of '" + iter + "'");
             }
         }
     }
-    return false;
+    return found;
+}
+
+bool
+cross_iteration_conflict(const Context& ctx, const StmtPtr& loop,
+                         bool reductions_ok, std::string* why)
+{
+    if (why == nullptr)
+        return cross_iteration_conflicts(ctx, loop, reductions_ok, nullptr);
+    std::vector<LoopConflict> conflicts;
+    if (!cross_iteration_conflicts(ctx, loop, reductions_ok, &conflicts))
+        return false;
+    *why = conflicts.front().detail;
+    return true;
 }
 
 }  // namespace
+
+bool
+loop_conflicts(const Context& ctx, const StmtPtr& loop, bool reductions_ok,
+               std::vector<LoopConflict>* out)
+{
+    if (out)
+        out->clear();
+    return cross_iteration_conflicts(ctx, loop, reductions_ok, out);
+}
 
 bool
 loop_iterations_commute(const Context& ctx, const StmtPtr& loop,

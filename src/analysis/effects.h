@@ -41,6 +41,41 @@ struct Access
     std::vector<ExprPtr> guards;
 };
 
+/** "read" / "write" / "reduce". */
+const char* access_kind_name(AccessKind k);
+
+/** Render an access as `kind buf[idx, ...]` (e.g. `write y[i + 1]`;
+ *  `[...]` for opaque whole-buffer accesses, bare name for scalars). */
+std::string describe_access(const Access& a);
+
+/**
+ * One loop-carried conflict found by `loop_conflicts`: the pair of
+ * accesses that may touch the same cell of `buf` in two distinct
+ * iterations of the loop. `a`/`b` keep their original (un-renamed)
+ * index expressions, so `describe_access(a)` names the conflicting
+ * pair in the user's own binder names.
+ */
+struct LoopConflict
+{
+    std::string buf;
+    Access a;
+    Access b;
+    /** Human-readable explanation (names buffer, kinds, indices). */
+    std::string detail;
+};
+
+/**
+ * Certifying cross-iteration dependence analysis: collect every
+ * conflicting access pair of `loop` into `out` (empty => iterations
+ * are independent). `reductions_ok` permits commuting Reduce/Reduce
+ * pairs (loop_iterations_commute semantics); pass false for the strict
+ * parallelism check (loop_parallelizable semantics). Sound in the
+ * "no conflicts" direction: an empty result is a proof, a non-empty
+ * one may contain false positives.
+ */
+bool loop_conflicts(const Context& ctx, const StmtPtr& loop,
+                    bool reductions_ok, std::vector<LoopConflict>* out);
+
 /** Collect all accesses in a statement (recursively, through calls). */
 std::vector<Access> collect_accesses(const StmtPtr& s);
 

@@ -100,7 +100,8 @@ class CGen
                   std::set<const Proc*>* fallback_out = nullptr,
                   bool* immintrin_out = nullptr)
         : proc_(p), native_bytes_(opts.native_vector_bytes),
-          fallback_out_(fallback_out), immintrin_out_(immintrin_out) {}
+          emit_openmp_(opts.emit_openmp), fallback_out_(fallback_out),
+          immintrin_out_(immintrin_out) {}
 
     std::string run()
     {
@@ -679,7 +680,7 @@ class CGen
             return;
           }
           case StmtKind::For: {
-            if (s->loop_mode() == LoopMode::Par)
+            if (s->loop_mode() == LoopMode::Par && emit_openmp_)
                 line("#pragma omp parallel for");
             std::string lo = expr(s->lo());
             std::string hi = expr(s->hi());
@@ -798,6 +799,7 @@ class CGen
 
     ProcPtr proc_;
     int native_bytes_ = 0;
+    bool emit_openmp_ = false;
     std::set<const Proc*>* fallback_out_ = nullptr;
     bool* immintrin_out_ = nullptr;
     std::ostringstream out_;

@@ -58,6 +58,17 @@ struct CodegenOpts
      * compiler flags) pass it to avoid a second traversal.
      */
     int required_vector_bytes = -1;
+
+    /**
+     * Emit `#pragma omp parallel for` on LoopMode::Par loops. Off by
+     * default: the pragma is inert without -fopenmp, but turning it on
+     * should be a deliberate act paired with a race-free verdict from
+     * the lint race pass (certify_parallel_loops, DESIGN.md §9) —
+     * every Par loop the tuner or a user marks is a *claim*, and the
+     * certificate is what makes handing it to a parallel runtime
+     * defensible.
+     */
+    bool emit_openmp = false;
 };
 
 /** Generate a self-contained C function for `p` (no preamble; see

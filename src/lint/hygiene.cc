@@ -1,0 +1,217 @@
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "src/analysis/context.h"
+#include "src/ir/builder.h"
+#include "src/lint/lint.h"
+#include "src/machine/machine.h"
+
+/**
+ * @file
+ * Schedule-hygiene pass (DESIGN.md §9): findings that cost performance
+ * or signal a half-finished schedule without threatening safety — all
+ * Info severity.
+ *
+ *  - EXL301/302: allocations never used / written but never read
+ *    (a producer scheduled away, or a lift_alloc left behind).
+ *  - EXL303/304: provably zero-trip / single-trip loops (dead code, or
+ *    a divide_loop remainder worth simplifying away).
+ *  - EXL305: masked vector *arithmetic* on a machine without a
+ *    predicated ALU — AVX2 has vmaskmov loads/stores but emulates
+ *    masked ALU ops by blending, which the cost model prices at one
+ *    extra op per instruction; a cut tail avoids the mask entirely.
+ */
+
+namespace exo2 {
+namespace lint {
+
+namespace {
+
+std::string
+loc_str(const Path& path)
+{
+    CursorLoc loc;
+    loc.kind = CursorKind::Node;
+    loc.path = path;
+    return loc.to_string();
+}
+
+/** instr name -> (machine name, machine has a predicated ALU). */
+const std::map<std::string, std::pair<std::string, bool>>&
+instr_machines()
+{
+    static const auto* map = [] {
+        auto* m =
+            new std::map<std::string, std::pair<std::string, bool>>();
+        for (const Machine* mach : {&machine_avx2(), &machine_avx512()}) {
+            for (const auto& ip : mach->all_instrs()) {
+                (*m)[ip->name()] = {mach->name(),
+                                    mach->has_predicated_alu()};
+            }
+        }
+        return m;
+    }();
+    return *map;
+}
+
+bool
+block_has_if(const std::vector<StmtPtr>& b)
+{
+    for (const auto& s : b) {
+        if (s->kind() == StmtKind::If)
+            return true;
+        if (s->kind() == StmtKind::For && block_has_if(s->body()))
+            return true;
+    }
+    return false;
+}
+
+/** ALU instruction classes; loads/stores have native masked forms on
+ *  every vector machine here (vmaskmov), so only these pay the blend. */
+bool
+is_alu_class(const std::string& cls)
+{
+    return cls == "arith" || cls == "fma" || cls == "broadcast" ||
+           cls == "reduce";
+}
+
+class HygieneWalker
+{
+  public:
+    HygieneWalker(const ProcPtr& p, LintReport* rep) : p_(p), rep_(rep) {}
+
+    void run()
+    {
+        for (const auto& a : collect_accesses_block(p_->body_stmts())) {
+            if (a.kind == AccessKind::Read)
+                read_.insert(a.buf);
+            else
+                written_.insert(a.buf);
+        }
+        Path path;
+        block(p_->body_stmts(), PathLabel::Body, path);
+    }
+
+  private:
+    void diag(const Path& path, const char* code, const std::string& buf,
+              std::string message, std::string fixit)
+    {
+        Diagnostic d;
+        d.code = code;
+        d.severity = Severity::Info;
+        d.pass = "hygiene";
+        d.loc = loc_str(path);
+        d.buf = buf;
+        d.message = std::move(message);
+        d.fixit = std::move(fixit);
+        rep_->diags.push_back(std::move(d));
+    }
+
+    void stmt(const StmtPtr& s, const Path& path)
+    {
+        switch (s->kind()) {
+          case StmtKind::Alloc: {
+            const std::string& n = s->name();
+            bool r = read_.count(n) > 0;
+            bool w = written_.count(n) > 0;
+            if (!r && !w) {
+                diag(path, "EXL301", n,
+                     "allocation '" + n + "' is never used",
+                     "delete the allocation (delete_buffer)");
+            } else if (!r) {
+                diag(path, "EXL302", n,
+                     "allocation '" + n +
+                         "' is written but never read (dead stores)",
+                     "delete the allocation and its stores");
+            }
+            return;
+          }
+          case StmtKind::For: {
+            Context ctx = Context::at(p_, path);
+            if (ctx.prove_eq(s->lo(), s->hi())) {
+                diag(path, "EXL303", s->iter(),
+                     "loop '" + s->iter() +
+                         "' provably runs zero iterations",
+                     "delete the dead loop");
+            } else if (ctx.prove_eq(s->hi(), s->lo() + idx_const(1))) {
+                diag(path, "EXL304", s->iter(),
+                     "loop '" + s->iter() +
+                         "' provably runs exactly one iteration",
+                     "inline the single iteration (remove_loop)");
+            }
+            Path bpath = path;
+            block(s->body(), PathLabel::Body, bpath);
+            return;
+          }
+          case StmtKind::If: {
+            Path bpath = path;
+            block(s->body(), PathLabel::Body, bpath);
+            bpath = path;
+            block(s->orelse(), PathLabel::Orelse, bpath);
+            return;
+          }
+          case StmtKind::Call: {
+            const ProcPtr& callee = s->callee();
+            if (!callee || !callee->is_instr())
+                return;
+            auto it = instr_machines().find(callee->name());
+            if (it == instr_machines().end() || it->second.second)
+                return;  // unknown machine, or predicated ALU present
+            if (!is_alu_class(callee->instr()->instr_class))
+                return;
+            // Masked variants are the guarded ones: their semantics
+            // body carries the lane guard the mask implements.
+            if (!block_has_if(callee->body_stmts()))
+                return;
+            diag(path, "EXL305", callee->name(),
+                 "masked '" + callee->name() + "' on " + it->second.first +
+                     " is emulated by blending (no predicated ALU; one "
+                     "extra op per instruction)",
+                 "vectorize with a cut tail (TailStrategy::Cut) or "
+                 "target a machine with mask registers");
+            return;
+          }
+          default:
+            return;
+        }
+    }
+
+    void block(const std::vector<StmtPtr>& b, PathLabel label, Path& path)
+    {
+        for (size_t i = 0; i < b.size(); i++) {
+            path.push_back({label, static_cast<int>(i)});
+            stmt(b[i], path);
+            path.pop_back();
+        }
+    }
+
+    const ProcPtr& p_;
+    LintReport* rep_;
+    std::set<std::string> read_;
+    std::set<std::string> written_;
+};
+
+class HygienePass : public LintPass
+{
+  public:
+    const char* name() const override { return "hygiene"; }
+    void run(const ProcPtr& p, const LintOptions&,
+             LintReport* out) const override
+    {
+        HygieneWalker(p, out).run();
+    }
+};
+
+}  // namespace
+
+const LintPass&
+hygiene_pass()
+{
+    static const HygienePass pass;
+    return pass;
+}
+
+}  // namespace lint
+}  // namespace exo2

@@ -1,0 +1,153 @@
+#include <set>
+#include <string>
+
+#include "src/lint/lint.h"
+
+/**
+ * @file
+ * Init pass: forward dataflow over Read/Write/Reduce effect sets
+ * detecting reads of never-written allocation cells (DESIGN.md §9).
+ *
+ * Allocations are zero-filled in the object language, so such reads are
+ * well-defined — but they are the classic symptom of a scheduling bug
+ * (PR 3's tri-oracle caught several, one size at a time): the schedule
+ * dropped or reordered the producer. The pass therefore reports Warn,
+ * not Error.
+ *
+ * Lattice per allocation: never-written / maybe-written, merged by
+ * union over branches ("any path wrote" silences the warning —
+ * conservative in the non-flagging direction). Reduce targets count as
+ * writes but *not* as flagged reads: `acc += x` onto a zero-filled
+ * accumulator is the idiomatic reduction pattern (and what
+ * parallelize_reduction's partial-sum buffers do).
+ */
+
+namespace exo2 {
+namespace lint {
+
+namespace {
+
+std::string
+loc_str(const Path& path)
+{
+    CursorLoc loc;
+    loc.kind = CursorKind::Node;
+    loc.path = path;
+    return loc.to_string();
+}
+
+class InitWalker
+{
+  public:
+    explicit InitWalker(LintReport* rep) : rep_(rep) {}
+
+    void run(const ProcPtr& p)
+    {
+        Path path;
+        block(p->body_stmts(), PathLabel::Body, path);
+    }
+
+  private:
+    void leaf(const StmtPtr& s, const Path& path)
+    {
+        auto accs = collect_accesses(s);
+        // Reads first (an Assign's RHS reads precede its write; the
+        // collector preserves statement order through calls), but a
+        // statement both reading and writing the same never-written
+        // buffer flags: the read happens before this statement's write.
+        for (const auto& a : accs) {
+            if (a.kind != AccessKind::Read)
+                continue;
+            if (allocs_.count(a.buf) == 0 || written_.count(a.buf) > 0)
+                continue;
+            if (flagged_.insert(a.buf).second) {
+                Diagnostic d;
+                d.code = "EXL101";
+                d.severity = Severity::Warn;
+                d.pass = "init";
+                d.loc = loc_str(path);
+                d.buf = a.buf;
+                d.message = describe_access(a) + ": allocation '" + a.buf +
+                            "' is never written before this read (reads "
+                            "the zero fill)";
+                d.fixit = "write '" + a.buf +
+                          "' first, or delete the allocation if the "
+                          "producer was scheduled away";
+                rep_->diags.push_back(std::move(d));
+            }
+        }
+        for (const auto& a : accs) {
+            if (a.kind != AccessKind::Read)
+                written_.insert(a.buf);
+        }
+    }
+
+    void stmt(const StmtPtr& s, const Path& path)
+    {
+        switch (s->kind()) {
+          case StmtKind::Alloc:
+            allocs_.insert(s->name());
+            return;
+          case StmtKind::For: {
+            Path bpath = path;
+            block(s->body(), PathLabel::Body, bpath);
+            return;
+          }
+          case StmtKind::If: {
+            // Both branches see the incoming state; their writes merge
+            // by union (either branch writing silences later reads).
+            std::set<std::string> in = written_;
+            Path bpath = path;
+            block(s->body(), PathLabel::Body, bpath);
+            std::set<std::string> after_body = written_;
+            written_ = in;
+            bpath = path;
+            block(s->orelse(), PathLabel::Orelse, bpath);
+            written_.insert(after_body.begin(), after_body.end());
+            return;
+          }
+          case StmtKind::Pass:
+            return;
+          default:
+            leaf(s, path);
+            return;
+        }
+    }
+
+    void block(const std::vector<StmtPtr>& b, PathLabel label, Path& path)
+    {
+        for (size_t i = 0; i < b.size(); i++) {
+            path.push_back({label, static_cast<int>(i)});
+            stmt(b[i], path);
+            path.pop_back();
+        }
+    }
+
+    LintReport* rep_;
+    std::set<std::string> allocs_;
+    std::set<std::string> written_;
+    std::set<std::string> flagged_;  ///< one diagnostic per buffer
+};
+
+class InitPass : public LintPass
+{
+  public:
+    const char* name() const override { return "init"; }
+    void run(const ProcPtr& p, const LintOptions&,
+             LintReport* out) const override
+    {
+        InitWalker(out).run(p);
+    }
+};
+
+}  // namespace
+
+const LintPass&
+init_pass()
+{
+    static const InitPass pass;
+    return pass;
+}
+
+}  // namespace lint
+}  // namespace exo2

@@ -1,0 +1,165 @@
+#ifndef EXO2_LINT_LINT_H_
+#define EXO2_LINT_LINT_H_
+
+/**
+ * @file
+ * Static schedule-safety analyzer (DESIGN.md §9): a pass framework
+ * over the IR producing Diagnostics with stable codes, severities,
+ * source-cursor locations, and fix-it hints.
+ *
+ * Four passes layer on the affine machinery of src/analysis/:
+ *
+ *  - **bounds**: prove every buffer/window access in-bounds for all
+ *    admissible loop extents and size arguments (`implies_ge0`).
+ *  - **init**: forward dataflow over Read/Write/Reduce effect sets
+ *    detecting reads of never-written allocation cells.
+ *  - **race**: certifying re-check of every `Par` loop, reporting the
+ *    conflicting access pair (buffer, kinds, index expressions); its
+ *    verdict (`certify_parallel_loops`) is what an OpenMP lowering
+ *    consumes.
+ *  - **hygiene**: dead allocations, degenerate (zero/one-trip) loops,
+ *    masked vector arithmetic on machines without a predicated ALU.
+ *
+ * Soundness contract (the direction matters): an `Error` diagnostic is
+ * a *proven* violation — the access is out-of-bounds for every
+ * valuation the facts allow, or the parallel loop carries a dependence
+ * the checker can exhibit. A `Warn` means safety could not be proved
+ * (the checker is conservative: windows of windows, non-affine
+ * indices). `Info` is hygiene. `LintReport::proven_safe()` is the
+ * strong claim — every obligation discharged, no soundness-pass Warn
+ * or Error — and is what verify/fuzz.cc cross-checks against the
+ * dynamic tri-oracle: a proven-safe schedule that crashes the JIT is a
+ * lint soundness bug and fails the fuzz run.
+ *
+ * Diagnostic code registry (stable; never renumber):
+ *
+ *   EXL001 Warn   bounds: access not provably in-bounds
+ *   EXL002 Error  bounds: access provably out-of-bounds (reachable)
+ *   EXL003 Warn   bounds: access with unknown or mismatched shape
+ *   EXL004 Warn   bounds: allocation extent not provably nonnegative
+ *   EXL101 Warn   init:   read of a never-written allocation
+ *   EXL201 Error  race:   parallel loop carries a cross-iteration
+ *                         conflict (message names the access pair)
+ *   EXL202 Info   race:   nested parallel loops
+ *   EXL301 Info   hygiene: allocation never used
+ *   EXL302 Info   hygiene: allocation written but never read
+ *   EXL303 Info   hygiene: provably zero-trip loop
+ *   EXL304 Info   hygiene: provably single-trip loop
+ *   EXL305 Info   hygiene: masked vector op emulated (no predicated
+ *                          ALU on the target machine)
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/analysis/effects.h"
+#include "src/ir/proc.h"
+
+namespace exo2 {
+namespace lint {
+
+enum class Severity : uint8_t {
+    Info,
+    Warn,
+    Error,
+};
+
+/** "info" / "warn" / "error". */
+const char* severity_name(Severity s);
+
+/** One finding. `loc` is the source-cursor location of the anchor
+ *  statement in `CursorLoc::to_string()` form (e.g. "body[1].body[0]"),
+ *  usable to re-derive a Cursor into the proc. */
+struct Diagnostic
+{
+    std::string code;      ///< stable registry code, e.g. "EXL002"
+    Severity severity = Severity::Info;
+    std::string pass;      ///< producing pass ("bounds", "init", ...)
+    std::string loc;       ///< cursor path of the anchor statement
+    std::string buf;       ///< buffer/loop/instr involved (may be empty)
+    std::string message;   ///< human-readable finding
+    std::string fixit;     ///< suggested remedy (may be empty)
+};
+
+/** Which passes run. All on by default. */
+struct LintOptions
+{
+    bool bounds = true;
+    bool init = true;
+    bool race = true;
+    bool hygiene = true;
+};
+
+struct LintReport
+{
+    std::string proc;  ///< name of the linted procedure
+    std::vector<Diagnostic> diags;
+    /** Bounds/window proof obligations attempted / discharged. */
+    int obligations = 0;
+    int proven = 0;
+    /** True when bounds+init+race all ran (proven_safe prerequisite). */
+    bool sound_passes_ran = false;
+
+    size_t count(Severity s) const;
+    bool has_errors() const { return count(Severity::Error) > 0; }
+    bool has_code(const std::string& code) const;
+
+    /**
+     * The strong static claim: every access proven in-bounds and every
+     * soundness pass silent (no Warn/Error from bounds/init/race).
+     * Implies the schedule cannot fault for any admissible sizes; the
+     * fuzz harness treats a contradiction by ASan/the tri-oracle as a
+     * lint soundness bug.
+     */
+    bool proven_safe() const;
+
+    /** One line per diagnostic: `code severity loc: message [fixit]`. */
+    std::string to_text() const;
+    /** Machine-readable rendering (stable field names). */
+    std::string to_json() const;
+};
+
+/** A lint pass: stateless, registered in all_passes(). */
+class LintPass
+{
+  public:
+    virtual ~LintPass() = default;
+    virtual const char* name() const = 0;
+    virtual void run(const ProcPtr& p, const LintOptions& opts,
+                     LintReport* out) const = 0;
+};
+
+/** The pass registry, in execution order: bounds, init, race, hygiene. */
+const std::vector<const LintPass*>& all_passes();
+
+/** Run the (enabled) passes over `p`. */
+LintReport lint_proc(const ProcPtr& p, const LintOptions& opts = {});
+
+/**
+ * The race pass's certifying verdict for one `Par` loop, consumable by
+ * the planned OpenMP lowering: safe == true is a proof of iteration
+ * independence; otherwise `conflicts` exhibits every access pair the
+ * checker could not separate.
+ */
+struct ParLoopCert
+{
+    std::string iter;  ///< loop iteration variable
+    std::string loc;   ///< cursor path of the loop
+    bool safe = false;
+    std::vector<LoopConflict> conflicts;
+};
+
+/** Certify every `Par`-mode loop of `p` (empty when none). */
+std::vector<ParLoopCert> certify_parallel_loops(const ProcPtr& p);
+
+// Individual passes (for targeted use and the registry).
+const LintPass& bounds_pass();
+const LintPass& init_pass();
+const LintPass& race_pass();
+const LintPass& hygiene_pass();
+
+}  // namespace lint
+}  // namespace exo2
+
+#endif  // EXO2_LINT_LINT_H_

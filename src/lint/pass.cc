@@ -1,0 +1,179 @@
+#include "src/lint/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace exo2 {
+namespace lint {
+
+const char*
+severity_name(Severity s)
+{
+    switch (s) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warn:
+        return "warn";
+      case Severity::Error:
+        return "error";
+    }
+    return "?";
+}
+
+size_t
+LintReport::count(Severity s) const
+{
+    return static_cast<size_t>(
+        std::count_if(diags.begin(), diags.end(),
+                      [&](const Diagnostic& d) { return d.severity == s; }));
+}
+
+bool
+LintReport::has_code(const std::string& code) const
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [&](const Diagnostic& d) { return d.code == code; });
+}
+
+bool
+LintReport::proven_safe() const
+{
+    if (!sound_passes_ran || proven != obligations)
+        return false;
+    for (const auto& d : diags) {
+        if (d.severity == Severity::Info)
+            continue;
+        if (d.pass == "bounds" || d.pass == "init" || d.pass == "race")
+            return false;
+    }
+    return true;
+}
+
+std::string
+LintReport::to_text() const
+{
+    std::string out;
+    for (const auto& d : diags) {
+        out += d.code;
+        out += " ";
+        out += severity_name(d.severity);
+        out += " [";
+        out += d.pass;
+        out += "] ";
+        out += d.loc.empty() ? "<proc>" : d.loc;
+        out += ": ";
+        out += d.message;
+        if (!d.fixit.empty()) {
+            out += " (fix: ";
+            out += d.fixit;
+            out += ")";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+LintReport::to_json() const
+{
+    std::string out = "{\"proc\":\"" + json_escape(proc) + "\",\"diags\":[";
+    for (size_t i = 0; i < diags.size(); i++) {
+        const Diagnostic& d = diags[i];
+        if (i)
+            out += ",";
+        out += "{\"code\":\"" + json_escape(d.code) + "\"";
+        out += ",\"severity\":\"";
+        out += severity_name(d.severity);
+        out += "\"";
+        out += ",\"pass\":\"" + json_escape(d.pass) + "\"";
+        out += ",\"loc\":\"" + json_escape(d.loc) + "\"";
+        out += ",\"buf\":\"" + json_escape(d.buf) + "\"";
+        out += ",\"message\":\"" + json_escape(d.message) + "\"";
+        out += ",\"fixit\":\"" + json_escape(d.fixit) + "\"}";
+    }
+    out += "],\"errors\":" + std::to_string(count(Severity::Error));
+    out += ",\"warnings\":" + std::to_string(count(Severity::Warn));
+    out += ",\"infos\":" + std::to_string(count(Severity::Info));
+    out += ",\"obligations\":" + std::to_string(obligations);
+    out += ",\"proven\":" + std::to_string(proven);
+    out += ",\"proven_safe\":";
+    out += proven_safe() ? "true" : "false";
+    out += "}";
+    return out;
+}
+
+const std::vector<const LintPass*>&
+all_passes()
+{
+    static const std::vector<const LintPass*> passes = {
+        &bounds_pass(),
+        &init_pass(),
+        &race_pass(),
+        &hygiene_pass(),
+    };
+    return passes;
+}
+
+LintReport
+lint_proc(const ProcPtr& p, const LintOptions& opts)
+{
+    LintReport rep;
+    rep.proc = p->name();
+    auto enabled = [&](const LintPass* pass) {
+        std::string n = pass->name();
+        if (n == "bounds")
+            return opts.bounds;
+        if (n == "init")
+            return opts.init;
+        if (n == "race")
+            return opts.race;
+        if (n == "hygiene")
+            return opts.hygiene;
+        return true;
+    };
+    for (const LintPass* pass : all_passes()) {
+        if (enabled(pass))
+            pass->run(p, opts, &rep);
+    }
+    rep.sound_passes_ran = opts.bounds && opts.init && opts.race;
+    return rep;
+}
+
+}  // namespace lint
+}  // namespace exo2

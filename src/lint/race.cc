@@ -1,0 +1,134 @@
+#include <string>
+#include <vector>
+
+#include "src/analysis/context.h"
+#include "src/lint/lint.h"
+
+/**
+ * @file
+ * Race pass: certifying re-check of every `Par` loop (DESIGN.md §9).
+ *
+ * `parallelize_loop` proves independence once, at scheduling time; this
+ * pass re-derives the proof for the *final* program so downstream
+ * consumers (the tuner's pre-JIT gate, the daemon's admission check,
+ * the planned OpenMP lowering) never trust a stale annotation. A
+ * conflict on a Par loop is an Error: the checker exhibits the access
+ * pair (buffer, kinds, index expressions) via `loop_conflicts`, which
+ * is also what `parallelize_loop`'s failure message now reports.
+ * Covers `parallelize_reduction` partial-sum buffers (their Par loops
+ * re-certify like any other) and nested parallel loops (every Par loop
+ * is certified at its own depth; nesting itself is only an Info).
+ */
+
+namespace exo2 {
+namespace lint {
+
+namespace {
+
+std::string
+loc_str(const Path& path)
+{
+    CursorLoc loc;
+    loc.kind = CursorKind::Node;
+    loc.path = path;
+    return loc.to_string();
+}
+
+void
+walk(const ProcPtr& p, const std::vector<StmtPtr>& b, PathLabel label,
+     Path& path, int par_depth, std::vector<ParLoopCert>* certs,
+     LintReport* rep)
+{
+    for (size_t i = 0; i < b.size(); i++) {
+        path.push_back({label, static_cast<int>(i)});
+        const StmtPtr& s = b[i];
+        int depth = par_depth;
+        if (s->kind() == StmtKind::For) {
+            if (s->loop_mode() == LoopMode::Par) {
+                ParLoopCert cert;
+                cert.iter = s->iter();
+                cert.loc = loc_str(path);
+                Context ctx = Context::at(p, path);
+                cert.safe = !loop_conflicts(ctx, s, /*reductions_ok=*/false,
+                                            &cert.conflicts);
+                if (rep != nullptr) {
+                    if (!cert.safe) {
+                        for (const auto& c : cert.conflicts) {
+                            Diagnostic d;
+                            d.code = "EXL201";
+                            d.severity = Severity::Error;
+                            d.pass = "race";
+                            d.loc = cert.loc;
+                            d.buf = c.buf;
+                            d.message = "parallel loop '" + cert.iter +
+                                        "' carries a dependence: " +
+                                        c.detail;
+                            d.fixit =
+                                "keep the loop sequential, make the "
+                                "accesses disjoint, or use "
+                                "parallelize_reduction for reductions";
+                            rep->diags.push_back(std::move(d));
+                        }
+                    }
+                    if (par_depth > 0) {
+                        Diagnostic d;
+                        d.code = "EXL202";
+                        d.severity = Severity::Info;
+                        d.pass = "race";
+                        d.loc = cert.loc;
+                        d.buf = cert.iter;
+                        d.message = "parallel loop '" + cert.iter +
+                                    "' is nested inside another parallel "
+                                    "loop (oversubscription; inner "
+                                    "parallelism is usually wasted)";
+                        d.fixit = "parallelize only the outer loop, or "
+                                  "collapse the nest first";
+                        rep->diags.push_back(std::move(d));
+                    }
+                }
+                if (certs != nullptr)
+                    certs->push_back(std::move(cert));
+                depth = par_depth + 1;
+            }
+            walk(p, s->body(), PathLabel::Body, path, depth, certs, rep);
+        } else if (s->kind() == StmtKind::If) {
+            walk(p, s->body(), PathLabel::Body, path, depth, certs, rep);
+            walk(p, s->orelse(), PathLabel::Orelse, path, depth, certs,
+                 rep);
+        }
+        path.pop_back();
+    }
+}
+
+class RacePass : public LintPass
+{
+  public:
+    const char* name() const override { return "race"; }
+    void run(const ProcPtr& p, const LintOptions&,
+             LintReport* out) const override
+    {
+        Path path;
+        walk(p, p->body_stmts(), PathLabel::Body, path, 0, nullptr, out);
+    }
+};
+
+}  // namespace
+
+std::vector<ParLoopCert>
+certify_parallel_loops(const ProcPtr& p)
+{
+    std::vector<ParLoopCert> certs;
+    Path path;
+    walk(p, p->body_stmts(), PathLabel::Body, path, 0, &certs, nullptr);
+    return certs;
+}
+
+const LintPass&
+race_pass()
+{
+    static const RacePass pass;
+    return pass;
+}
+
+}  // namespace lint
+}  // namespace exo2

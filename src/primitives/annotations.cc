@@ -55,9 +55,15 @@ parallelize_loop(const ProcPtr& p, const Cursor& loop)
     ScheduleStats::count_rewrite("parallelize_loop");
     Cursor lc = expect_loop_cursor(p, loop);
     Context ctx = Context::at(p, lc.loc().path);
-    std::string why;
-    bool ok = loop_parallelizable(ctx, lc.stmt(), &why);
-    require(ok, "parallelize_loop: " + why);
+    std::vector<LoopConflict> conflicts;
+    if (loop_conflicts(ctx, lc.stmt(), /*reductions_ok=*/false, &conflicts)) {
+        // Name every conflicting access pair, not just the first: the
+        // user fixes them all at once instead of replaying the error.
+        std::string why = conflicts.front().detail;
+        for (size_t i = 1; i < conflicts.size(); i++)
+            why += "; " + conflicts[i].detail;
+        require(false, "parallelize_loop: " + why);
+    }
     return apply_replace_stmt_same_shape(
         p, lc.loc().path, lc.stmt()->with_loop_mode(LoopMode::Par),
         "parallelize_loop");

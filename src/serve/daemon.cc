@@ -14,6 +14,7 @@
 #include "src/ir/errors.h"
 #include "src/kernels/blas.h"
 #include "src/kernels/image.h"
+#include "src/lint/lint.h"
 #include "src/machine/machine.h"
 #include "src/tune/tune.h"
 #include "src/util/env.h"
@@ -74,6 +75,24 @@ resolve_kernel(const std::string& name)
     if (name == "blur")
         return kernels::blur();
     return kernels::find_kernel(name).proc;
+}
+
+/** Attach a lint verdict to a response as structured extra fields:
+ *  summary counters plus the full diagnostic list as JSON, so clients
+ *  render findings without re-running the analysis. */
+void
+attach_lint(ServeResponse* resp, const lint::LintReport& rep)
+{
+    resp->extra["lint_errors"] =
+        std::to_string(rep.count(lint::Severity::Error));
+    resp->extra["lint_warnings"] =
+        std::to_string(rep.count(lint::Severity::Warn));
+    resp->extra["lint_infos"] =
+        std::to_string(rep.count(lint::Severity::Info));
+    resp->extra["lint_proven"] = std::to_string(rep.proven) + "/" +
+                                 std::to_string(rep.obligations);
+    resp->extra["lint_safe"] = rep.proven_safe() ? "1" : "0";
+    resp->extra["lint"] = rep.to_json();
 }
 
 /** Transient faults are worth a bounded retry; deterministic ones
@@ -403,6 +422,7 @@ Daemon::process(const ServeRequest& req, double admitted)
             put("retry_count", s.retries);
             put("queue_peak", s.queue_peak);
             put("deadline_expired", s.deadline_expired);
+            put("lint_rejects", s.lint_rejects);
             put("tune_cache_hits", cs.tune_hits);
             put("tune_cache_misses", cs.tune_misses);
             put("tune_cache_corrupt", cs.tune_corrupt);
@@ -416,10 +436,12 @@ Daemon::process(const ServeRequest& req, double admitted)
             resp = process_tune(req, admitted);
         } else if (req.op == "schedule") {
             resp = process_schedule(req);
+        } else if (req.op == "lint") {
+            resp = process_lint(req);
         } else {
             resp.status = "error";
             resp.detail = "unknown op '" + req.op +
-                          "' (ping|stats|tune|schedule|shutdown)";
+                          "' (ping|stats|tune|schedule|lint|shutdown)";
         }
     } catch (const std::exception& e) {
         resp.status = "error";
@@ -524,6 +546,36 @@ Daemon::process_tune(const ServeRequest& req, double admitted)
     resp.naive_cost = r.naive_cost;
     resp.validated = r.validated;
     resp.from_cache = r.from_cache;
+    resp.extra["lint_checked"] = std::to_string(r.stats.lint_checked);
+    resp.extra["lint_pruned"] = std::to_string(r.stats.lint_pruned);
+    return resp;
+}
+
+ServeResponse
+Daemon::process_lint(const ServeRequest& req)
+{
+    ServeResponse resp;
+    resp.id = req.id;
+
+    ProcPtr p = resolve_kernel(req.kernel);
+    if (!req.script.empty()) {
+        std::vector<verify::FuzzStep> script =
+            verify::script_from_string(req.script);
+        std::lock_guard<std::mutex> lk(engine_mu_);
+        p = tune::replay_script(p, script);
+        resp.script = verify::script_to_string(script);
+    }
+    lint::LintReport rep = lint::lint_proc(p);
+    attach_lint(&resp, rep);
+    // The analysis ran to completion, so the request succeeded; the
+    // verdict — including any Error findings — is the payload.
+    resp.status = "ok";
+    resp.detail = std::to_string(rep.count(lint::Severity::Error)) +
+                  " error(s), " +
+                  std::to_string(rep.count(lint::Severity::Warn)) +
+                  " warning(s), " +
+                  std::to_string(rep.count(lint::Severity::Info)) +
+                  " info(s)";
     return resp;
 }
 
@@ -539,6 +591,24 @@ Daemon::process_schedule(const ServeRequest& req)
 
     std::lock_guard<std::mutex> lk(engine_mu_);
     ProcPtr scheduled = tune::replay_script(naive, script);
+
+    // Admission lint (DESIGN.md §9): every submitted schedule is
+    // statically vetted before the daemon spends any JIT/oracle time
+    // on it. Error-level findings are proven violations — the request
+    // is unsatisfiable, refused with the structured diagnostics.
+    lint::LintReport lrep = lint::lint_proc(scheduled);
+    attach_lint(&resp, lrep);
+    if (lrep.has_errors()) {
+        {
+            std::lock_guard<std::mutex> slk(mu_);
+            stats_.lint_rejects++;
+        }
+        resp.status = "error";
+        resp.detail =
+            "schedule rejected by lint: " + lrep.to_text();
+        return resp;
+    }
+
     resp.status = "ok";
     resp.extra["digest"] = cache::hex64(proc_digest(scheduled));
     if (!req.sizes.empty()) {

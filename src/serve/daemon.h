@@ -96,6 +96,9 @@ struct ServeStats
     uint64_t retries = 0;         ///< transient-fault retry sleeps
     uint64_t queue_peak = 0;      ///< high-water mark of queue depth
     uint64_t deadline_expired = 0;  ///< budget gone before dequeue
+    /** Schedule submissions refused at admission because the static
+     *  linter (DESIGN.md §9) proved an Error-level violation. */
+    uint64_t lint_rejects = 0;
 };
 
 class Daemon
@@ -144,6 +147,7 @@ class Daemon
     ServeResponse process_tune(const ServeRequest& req,
                                double admitted_monotonic);
     ServeResponse process_schedule(const ServeRequest& req);
+    ServeResponse process_lint(const ServeRequest& req);
 
     void send_response(const std::shared_ptr<Conn>& conn,
                        const ServeResponse& resp);

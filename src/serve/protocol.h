@@ -18,8 +18,8 @@
  *
  * Requests (client -> daemon):
  *   id       echo token, returned verbatim in the response
- *   op       ping | stats | tune | schedule | shutdown
- *   kernel   kernel name (tune/schedule), e.g. "saxpy", "sgemm"
+ *   op       ping | stats | tune | schedule | lint | shutdown
+ *   kernel   kernel name (tune/schedule/lint), e.g. "saxpy", "sgemm"
  *   machine  machine name (default "AVX2")
  *   sizes    canonical size env, e.g. "K=48,M=48,N=48"
  *   deadline_ms  per-request wall-clock budget (0 = daemon default)
@@ -33,7 +33,11 @@
  *   detail   human-readable context (error cause, rejection reason)
  *   retry_after_ms  backpressure hint, set when status=rejected
  *   script / cost / naive_cost / validated / from_cache / elapsed_ms
- *   (op=stats responses carry counters as extra key=value pairs)
+ *   (op=stats responses carry counters as extra key=value pairs;
+ *   op=lint — and op=schedule, which lints at admission — carry the
+ *   static-analysis verdict in extra: lint_errors/lint_warnings/
+ *   lint_infos/lint_proven/lint_safe plus the full diagnostic list
+ *   as JSON under `lint`)
  *
  * Every response is one of exactly four statuses; "the daemon died"
  * is not among them. `rejected` means the bounded queue (or a drain
@@ -89,7 +93,7 @@ std::map<std::string, std::string> decode_kv(const std::string& text);
 struct ServeRequest
 {
     std::string id;
-    std::string op;        ///< ping|stats|tune|schedule|shutdown
+    std::string op;        ///< ping|stats|tune|schedule|lint|shutdown
     std::string kernel;
     std::string machine = "AVX2";
     std::string sizes;     ///< "K=48,M=48,N=48"

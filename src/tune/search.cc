@@ -7,6 +7,7 @@
 
 #include "src/cache/cache.h"
 #include "src/ir/errors.h"
+#include "src/lint/lint.h"
 #include "src/tune/actions.h"
 #include "src/tune/tune.h"
 #include "src/util/env.h"
@@ -101,6 +102,7 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
     opts.deadline_seconds =
         util::env_double("EXO2_TUNE_DEADLINE", opts.deadline_seconds,
                          0.0, 1e9);
+    opts.lint = util::env_flag("EXO2_TUNE_LINT", opts.lint);
     bool verbose = util::env_flag("EXO2_TUNE_VERBOSE", false);
     if (opts.beam_width < 1)
         opts.beam_width = 1;
@@ -357,8 +359,49 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
         }
     }
 
-    // -- JIT-measured refinement ---------------------------------------
+    // -- Static lint gate (DESIGN.md §9) --------------------------------
+    // Every pool candidate is linted before the cjit/sandbox step;
+    // Error-level findings (proven out-of-bounds, parallel loops
+    // carrying a dependence) prune the candidate from JIT measurement
+    // and validation without paying for a compile. Sound rewrites never
+    // produce them, so healthy winners are bit-for-bit unchanged; the
+    // set is keyed by digest so it survives the post-measurement
+    // re-rank.
     std::vector<State> ranked = pool.states();
+    std::unordered_set<uint64_t> lint_rejected;
+    if (opts.lint) {
+        auto lint_t0 = std::chrono::steady_clock::now();
+        for (const State& st : ranked) {
+            lint::LintReport lr = lint::lint_proc(st.proc);
+            result.stats.lint_checked++;
+            if (verbose) {
+                std::cerr << "autotune[" << p->name() << "] lint "
+                          << (lr.has_errors() ? "PRUNE" : "pass ")
+                          << " cost=" << st.cost << " errors="
+                          << lr.count(lint::Severity::Error)
+                          << " warnings="
+                          << lr.count(lint::Severity::Warn) << " infos="
+                          << lr.count(lint::Severity::Info) << " proven="
+                          << lr.proven << "/" << lr.obligations
+                          << (lr.proven_safe() ? " safe" : "") << "\n";
+                if (!lr.diags.empty())
+                    std::cerr << lr.to_text();
+            }
+            if (lr.has_errors()) {
+                lint_rejected.insert(st.digest);
+                result.stats.lint_pruned++;
+            }
+        }
+        result.stats.lint_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          lint_t0)
+                .count();
+    }
+    auto lint_bad = [&](const State& st) {
+        return lint_rejected.count(st.digest) > 0;
+    };
+
+    // -- JIT-measured refinement ---------------------------------------
     std::vector<double> measured(ranked.size(), -1.0);
     if (opts.jit_topk > 0) {
         size_t k = std::min(static_cast<size_t>(opts.jit_topk),
@@ -373,6 +416,8 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
                 result.degraded = true;
                 break;
             }
+            if (lint_bad(ranked[i]))
+                continue;  // pruned before the compile (counted above)
             try {
                 verify::CompiledProc cp(ranked[i].proc);
                 verify::OracleInputs in = verify::make_inputs(
@@ -455,12 +500,25 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
     // answer should cost one tri-oracle pass, not a walk down the
     // whole pool.
     size_t chosen = 0;
+    if (!opts.validate) {
+        // Without tri-oracle validation the lint gate is the only
+        // filter: report the best statically-clean candidate (all-bad
+        // falls back to 0, best-effort).
+        for (size_t i = 0; i < ranked.size(); i++) {
+            if (!lint_bad(ranked[i])) {
+                chosen = i;
+                break;
+            }
+        }
+    }
     if (opts.validate) {
         bool found = false;
         size_t limit =
             result.degraded ? std::min<size_t>(1, ranked.size())
                             : ranked.size();
         for (size_t i = 0; i < limit; i++) {
+            if (lint_bad(ranked[i]))
+                continue;  // statically unsafe: never a winner
             verify::TriOracleReport rep = verify::tri_oracle_check(
                 p, ranked[i].proc, opts.validate_sizes,
                 opts.validate_seed);

@@ -78,6 +78,16 @@ struct TuneOpts
     /** Sizes for the JIT measurement; empty = `tune_sizes`. */
     SizeEnv measure_sizes;
 
+    // -- Static lint gate -------------------------------------------------
+    /** Lint every pool candidate (lint_proc, DESIGN.md §9) before the
+     *  JIT/sandbox step; candidates with Error-level findings — proven
+     *  out-of-bounds accesses, parallel loops carrying a dependence —
+     *  are pruned without paying for a compile. Sound rewrites never
+     *  trip it, so winners are unchanged; it is defense-in-depth
+     *  against engine bugs and costs ~nothing (pool is tiny). Env
+     *  override: EXO2_TUNE_LINT=0 disables. */
+    bool lint = true;
+
     // -- Validation ------------------------------------------------------
     /** Tri-oracle-check the winner against the input proc before
      *  reporting it (candidates that fail are discarded). */
@@ -116,6 +126,13 @@ struct TuneStats
      *  faulted (subset of the faults observed during validation; these
      *  also count toward validate_rejects). */
     int validate_faults = 0;
+    /** Pool candidates run through the static lint gate, and the
+     *  subset pruned before the cjit/sandbox step for Error-level
+     *  findings (proven violations; see lint.h's soundness contract). */
+    int lint_checked = 0;
+    int lint_pruned = 0;
+    /** Wall-clock seconds spent in the lint gate. */
+    double lint_seconds = 0;
     /** Cost-cache deltas over this call (see cost_sim.h). */
     uint64_t cost_cache_hits = 0;
     uint64_t cost_cache_misses = 0;

@@ -7,8 +7,10 @@
 #include "src/cursor/cursor.h"
 #include "src/ir/builder.h"
 #include "src/ir/errors.h"
+#include "src/lint/lint.h"
 #include "src/primitives/primitives.h"
 #include "src/util/rng.h"
+#include "src/verify/sandbox.h"
 
 namespace exo2 {
 namespace verify {
@@ -506,12 +508,34 @@ fuzz_schedule(const ProcPtr& p, const SizeEnv& env, uint64_t seed,
         }
     }
     r.scheduled = cur;
+    // Fourth oracle (DESIGN.md §9): the static linter's verdict on the
+    // scheduled proc, recorded before execution so a contradiction with
+    // the dynamic oracles below is detectable.
+    {
+        lint::LintReport lrep = lint::lint_proc(cur);
+        r.lint_safe = lrep.proven_safe();
+        r.lint_errors = lrep.count(lint::Severity::Error);
+    }
     TriOracleReport rep = tri_oracle_check(p, cur, env, seed);
     if (rep.ok) {
         r.status = FuzzResult::Status::Ok;
         return r;
     }
     if (rep.is_fault()) {
+        if (r.lint_safe && rep.fault.kind == FaultKind::Crash &&
+            !current_fault_spec().any()) {
+            // Lint proved every access in-bounds, yet the kernel died
+            // on a real (uninjected) fatal signal: one of the two is
+            // wrong, and either way it is a soundness bug worth a
+            // minimized repro. Crashes without injection are
+            // deterministic, so ddmin replays faithfully.
+            r.status = FuzzResult::Status::LintUnsound;
+            r.detail = "lint proved the schedule safe but the C oracle "
+                       "crashed: " + rep.detail;
+            r.fault = rep.fault;
+            r.minimized = minimize(p, env, seed, r.applied);
+            return r;
+        }
         // The candidate could not be executed (compile fail/timeout,
         // dlopen fail, sandboxed crash or hang). Not an equivalence
         // verdict: record the full applied chain as the replayable
@@ -536,8 +560,9 @@ fuzz_repro_string(const std::string& kernel, uint64_t seed,
 {
     const char* what =
         r.status == FuzzResult::Status::Fault ? "fuzz fault"
-        : r.status == FuzzResult::Status::EngineError
-            ? "fuzz engine error"
+        : r.status == FuzzResult::Status::EngineError ? "fuzz engine error"
+        : r.status == FuzzResult::Status::LintUnsound
+            ? "lint soundness bug"
             : "fuzz divergence";
     std::ostringstream os;
     os << what << " on kernel '" << kernel << "' seed " << seed

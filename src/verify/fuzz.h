@@ -80,9 +80,21 @@ struct FuzzResult
         Fault,       ///< the C oracle faulted (compile fail/timeout,
                      ///< dlopen fail, kernel crash/hang) — recorded as
                      ///< a replayable repro, campaign continues
+        LintUnsound, ///< the lint oracle proved the schedule safe, yet
+                     ///< the C oracle crashed executing it with no
+                     ///< fault injection active — a lint soundness bug
+                     ///< (fails the run with a ddmin repro)
     };
     Status status = Status::Ok;
     std::string detail;
+    /** The static lint verdict on the scheduled proc (the fourth
+     *  oracle, DESIGN.md §9): `lint_safe` is `LintReport::proven_safe`
+     *  — a strong claim that every access is in-bounds for all
+     *  admissible sizes — and `lint_errors` counts Error-level
+     *  findings (proven violations; zero on a healthy engine, since
+     *  every applied primitive is a sound rewrite). */
+    bool lint_safe = false;
+    int lint_errors = 0;
     /** Structured fault when status == Fault. */
     ::exo2::RuntimeFault fault;
     std::vector<FuzzStep> applied;    ///< steps that took effect

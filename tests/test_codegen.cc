@@ -54,9 +54,18 @@ def f(n: size, x: f32[n] @ DRAM):
         if i < 4:
             x[i] = 1.0
 )");
+    // The OpenMP pragma is opt-in: a Par loop is a claim, and emitting
+    // the pragma should be paired with a race-free certificate
+    // (lint::certify_parallel_loops), so the default stays serial.
     std::string c = codegen_c(p);
-    EXPECT_NE(c.find("#pragma omp parallel for"), std::string::npos);
+    EXPECT_EQ(c.find("#pragma omp parallel for"), std::string::npos) << c;
     EXPECT_NE(c.find("if ((i < 4))"), std::string::npos) << c;
+
+    CodegenOpts omp;
+    omp.emit_openmp = true;
+    std::string c_omp = codegen_c(p, omp);
+    EXPECT_NE(c_omp.find("#pragma omp parallel for"), std::string::npos)
+        << c_omp;
 }
 
 TEST(Codegen, BackendRejectsArityMismatch)
