@@ -23,6 +23,7 @@
  * final comparison run with native SIMD codegen where the CPU allows.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "src/frontend/parser.h"
+#include "src/obs/phase.h"
 #include "src/kernels/blas.h"
 #include "src/kernels/image.h"
 #include "src/machine/machine.h"
@@ -262,7 +264,16 @@ main(int argc, char** argv)
         c.opts.jit_topk = 4;
         c.opts.measure_sizes = c.bench_sizes;
 
+        // Phase-attributed tune (DESIGN.md §10): where each kernel's
+        // tuning wall clock went, alongside the performance numbers.
+        obs::phase_begin_collection();
+        auto tune_t0 = std::chrono::steady_clock::now();
         tune::TuneResult r = tune::autotune(c.naive, m, c.opts);
+        double tune_wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - tune_t0)
+                .count();
+        obs::PhaseBreakdown pb = obs::phase_end_collection();
         lint_checked_total += r.stats.lint_checked;
         lint_pruned_total += r.stats.lint_pruned;
 
@@ -304,9 +315,21 @@ main(int argc, char** argv)
             c.flops, g_naive, g_hand, g_tuned, ratio, r.naive_cost,
             r.cost, r.stats.states_scored, r.stats.lint_checked,
             r.stats.lint_pruned, r.stats.lint_seconds);
+        char phases[512];
+        std::snprintf(
+            phases, sizeof(phases),
+            "\"tune_wall_ms\": %.1f,\n"
+            "     \"tune_phases_ms\": {\"lint\": %.1f, \"cache\": %.1f, "
+            "\"search\": %.1f, \"cjit\": %.1f, \"validate\": %.1f}",
+            tune_wall_ms, pb.of(obs::Phase::Lint) * 1000.0,
+            pb.of(obs::Phase::Cache) * 1000.0,
+            pb.of(obs::Phase::Search) * 1000.0,
+            pb.of(obs::Phase::Cjit) * 1000.0,
+            pb.of(obs::Phase::Validate) * 1000.0);
         out << (first ? "" : ",\n") << "    {\"name\": \""
             << json_escape(c.name) << "\", \"sizes\": \""
             << json_escape(env_str(c.bench_sizes)) << "\", " << nums
+            << ",\n     " << phases
             << ",\n     \"validated\": " << (clean ? "true" : "false")
             << ", \"replay_ok\": " << (replay_ok ? "true" : "false")
             << ",\n     \"script\": \""

@@ -168,6 +168,38 @@ stat_of(const std::string& socket, const char* key)
     return std::strtoull(resp.extra.at(key).c_str(), nullptr, 10);
 }
 
+double
+stat_double(const std::string& socket, const char* key)
+{
+    ServeClient client(socket, 30.0);
+    ServeRequest req;
+    req.op = "stats";
+    ServeResponse resp;
+    if (!client.call(req, &resp) || !resp.extra.count(key))
+        return 0;
+    return std::strtod(resp.extra.at(key).c_str(), nullptr);
+}
+
+/** The daemon's per-phase attribution extras of one response
+ *  (DESIGN.md §10), re-emitted as a JSON object. */
+std::string
+phases_json(const ServeResponse& resp)
+{
+    static const char* kPhases[] = {"queue",  "lint", "cache",
+                                    "search", "cjit", "validate"};
+    std::string s = "{";
+    bool first = true;
+    for (const char* p : kPhases) {
+        auto it = resp.extra.find(std::string("phase_") + p + "_ms");
+        if (it == resp.extra.end())
+            continue;
+        s += std::string(first ? "" : ", ") + "\"" + p +
+             "\": " + it->second;
+        first = false;
+    }
+    return s + "}";
+}
+
 /** Tally of one multi-client phase. "Failed" means a transport-dead
  *  final answer or status=error — the outcomes the service promises
  *  never to produce for well-formed requests. */
@@ -383,12 +415,14 @@ main(int argc, char** argv)
                       "    {\"kernel\": \"%s\", \"sizes\": \"%s\", "
                       "\"cold_ms\": %.1f, \"warm_ms\": %.1f, "
                       "\"cost\": %.0f, \"naive_cost\": %.0f, "
-                      "\"bit_for_bit\": %s}%s\n",
+                      "\"bit_for_bit\": %s,\n",
                       kRequests[i].kernel, kRequests[i].sizes,
                       cold[i].ms, warm[i].ms, cold[i].resp.cost,
-                      cold[i].resp.naive_cost, bfb ? "true" : "false",
-                      i + 1 < std::size(kRequests) ? "," : "");
-        out << buf;
+                      cold[i].resp.naive_cost, bfb ? "true" : "false");
+        out << buf << "     \"cold_phases_ms\": "
+            << phases_json(cold[i].resp) << ",\n     \"warm_phases_ms\": "
+            << phases_json(warm[i].resp) << "}"
+            << (i + 1 < std::size(kRequests) ? "," : "") << "\n";
     }
     out << "  ],\n";
     double speedup = cold_total / std::max(warm_total, 1e-9);
@@ -467,8 +501,24 @@ main(int argc, char** argv)
               << " cache hits)\n";
     bool k9_clean = k9.failed == 0 && swept >= 1;
 
+    // Request-latency percentiles of the final daemon generation (the
+    // restarted one that absorbed the kill -9 retries), from the
+    // lock-free op=stats snapshot.
+    uint64_t lat_count = stat_of(cfg.socket_path, "latency_count");
+    double lat_p50 = stat_double(cfg.socket_path, "latency_p50_ms");
+    double lat_p95 = stat_double(cfg.socket_path, "latency_p95_ms");
+    double lat_p99 = stat_double(cfg.socket_path, "latency_p99_ms");
+
     kill_daemon(pid);
     unlink(cfg.socket_path.c_str());
+
+    char lat[256];
+    std::snprintf(lat, sizeof(lat),
+                  "  \"latency_ms\": {\"count\": %llu, \"p50\": %.2f, "
+                  "\"p95\": %.2f, \"p99\": %.2f},\n",
+                  static_cast<unsigned long long>(lat_count), lat_p50,
+                  lat_p95, lat_p99);
+    out << lat;
 
     char tail[512];
     std::snprintf(

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "src/analysis/memo.h"
+#include "src/obs/trace.h"
 #include "src/ir/builder.h"
 #include "src/ir/interner.h"
 
@@ -344,6 +345,10 @@ LinearSystem::infeasible() const
 bool
 LinearSystem::infeasible_uncached() const
 {
+    // The memoized infeasible() wrapper stays span-free: hits are a
+    // hash probe. Only real Fourier-Motzkin work is worth a span.
+    EXO2_SPAN("analysis.solve",
+              {{"constraints", static_cast<int>(ge0_.size())}});
     // Cheap pre-passes: duplicate-row dropping + single-variable bound
     // propagation. These run before the var-count bail-out so oversized
     // systems with directly contradictory bounds are still refuted.

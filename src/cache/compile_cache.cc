@@ -3,6 +3,7 @@
 
 #include "src/cache/cache.h"
 #include "src/cache/cache_internal.h"
+#include "src/obs/trace.h"
 #include "src/util/file_atomic.h"
 #include "src/verify/sandbox.h"
 
@@ -119,6 +120,7 @@ CompileCache::probe(const CompileKey& key) const
 {
     if (!enabled())
         return std::nullopt;
+    EXO2_SPAN("cache.jit_probe");
     std::string mname = meta_name(key);
     std::string sname = so_name(key);
     std::string meta;
@@ -174,6 +176,7 @@ CompileCache::store(const CompileKey& key,
 {
     if (!enabled())
         return false;
+    EXO2_SPAN("cache.jit_store");
     std::string so;
     if (!util::read_file_text(so_path, &so) || so.empty()) {
         StatsRef stats;

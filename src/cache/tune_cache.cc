@@ -4,6 +4,7 @@
 #include "src/cache/cache.h"
 #include "src/cache/cache_internal.h"
 #include "src/machine/cost_sim.h"
+#include "src/obs/trace.h"
 #include "src/tune/actions.h"
 #include "src/util/file_atomic.h"
 #include "src/verify/sandbox.h"
@@ -181,6 +182,7 @@ TuneCache::probe(const TuneKey& key) const
 {
     if (!enabled())
         return std::nullopt;
+    EXO2_SPAN("cache.tune_probe");
     std::string name = entry_name(key);
     std::string text;
     if (!util::read_file_text(dir_ + "/" + name, &text)) {
@@ -223,6 +225,7 @@ TuneCache::store(const TuneKey& key, const TuneEntry& entry) const
 {
     if (!enabled())
         return false;
+    EXO2_SPAN("cache.tune_store");
     std::string name = entry_name(key);
     std::string path = dir_ + "/" + name;
 

@@ -1,6 +1,7 @@
 #include "src/cursor/edits.h"
 
 #include "src/ir/errors.h"
+#include "src/obs/trace.h"
 
 namespace exo2 {
 
@@ -485,6 +486,7 @@ EditBatch::commit(const std::string& action)
 {
     if (fwds_.empty())
         return base_;
+    EXO2_SPAN("prim.apply", {{"action", action}});
     ForwardFn fwd;
     if (fwds_.size() == 1) {
         fwd = std::move(fwds_[0]);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/obs/trace.h"
+
 namespace exo2 {
 namespace lint {
 
@@ -153,6 +155,7 @@ all_passes()
 LintReport
 lint_proc(const ProcPtr& p, const LintOptions& opts)
 {
+    EXO2_SPAN("lint.proc", {{"proc", p->name()}});
     LintReport rep;
     rep.proc = p->name();
     auto enabled = [&](const LintPass* pass) {
@@ -168,8 +171,10 @@ lint_proc(const ProcPtr& p, const LintOptions& opts)
         return true;
     };
     for (const LintPass* pass : all_passes()) {
-        if (enabled(pass))
-            pass->run(p, opts, &rep);
+        if (!enabled(pass))
+            continue;
+        EXO2_SPAN("lint.pass", {{"pass", pass->name()}});
+        pass->run(p, opts, &rep);
     }
     rep.sound_passes_ran = opts.bounds && opts.init && opts.race;
     return rep;

@@ -8,6 +8,7 @@
 #include "src/ir/errors.h"
 #include "src/ir/interner.h"
 #include "src/ir/printer.h"
+#include "src/obs/trace.h"
 
 namespace exo2 {
 
@@ -570,6 +571,9 @@ simulate_cost(const ProcPtr& p, const std::vector<CostArg>& args,
         }
         g_cache_stats.misses++;
     }
+    // Spanned only on a memo miss: hits are a hash probe, far below
+    // span granularity, and the tuner scores thousands of them.
+    EXO2_SPAN("cost.simulate", {{"proc", p->name()}});
     CostSim sim(cfg);
     Frame frame;
     size_t ai = 0;

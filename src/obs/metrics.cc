@@ -1,0 +1,294 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "src/ir/errors.h"
+
+namespace exo2 {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+int
+Histogram::bucket_for(double v)
+{
+    if (!(v > 0))
+        return 0;
+    // +1e-9 keeps exact powers of two in the bucket they bound from
+    // below instead of falling one short through log2 rounding.
+    double idx = (std::log2(v) - kMinExp) * kSub + 1e-9;
+    if (idx < 0)
+        return 0;
+    if (idx >= kBuckets)
+        return kBuckets - 1;
+    return static_cast<int>(idx);
+}
+
+double
+Histogram::bucket_lower(int i)
+{
+    return std::exp2(kMinExp + static_cast<double>(i) / kSub);
+}
+
+void
+Histogram::observe(double v)
+{
+    buckets_[bucket_for(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+    double cur;
+    uint64_t want;
+    do {
+        std::memcpy(&cur, &old, sizeof(cur));
+        cur += v;
+        std::memcpy(&want, &cur, sizeof(want));
+    } while (!sum_bits_.compare_exchange_weak(old, want,
+                                              std::memory_order_relaxed));
+}
+
+double
+Histogram::sum() const
+{
+    uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+    double s;
+    std::memcpy(&s, &bits, sizeof(s));
+    return s;
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot s;
+    s.count = count();
+    s.sum = sum();
+    for (int i = 0; i < kBuckets; i++)
+        s.buckets[static_cast<size_t>(i)] =
+            buckets_[i].load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+Histogram::reset()
+{
+    for (auto& b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+double
+HistogramSnapshot::percentile(double p) const
+{
+    uint64_t total = 0;
+    for (uint64_t b : buckets)
+        total += b;
+    if (total == 0)
+        return 0;
+    if (p < 0)
+        p = 0;
+    if (p > 1)
+        p = 1;
+    // The rank-p sample, 1-based; p=0.5 of 10 samples -> the 5th.
+    uint64_t rank = static_cast<uint64_t>(std::ceil(
+        p * static_cast<double>(total)));
+    if (rank == 0)
+        rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); i++) {
+        seen += buckets[i];
+        if (seen >= rank) {
+            double lo = Histogram::bucket_lower(static_cast<int>(i));
+            double hi = Histogram::bucket_lower(static_cast<int>(i) + 1);
+            return std::sqrt(lo * hi);  // geometric midpoint
+        }
+    }
+    return Histogram::bucket_lower(Histogram::kBuckets);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class Kind
+{
+    Counter,
+    Gauge,
+    Histogram
+};
+
+struct Metric
+{
+    Kind kind;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+};
+
+struct MetricsRegistry
+{
+    std::mutex mu;
+    std::map<std::string, Metric> metrics;
+};
+
+MetricsRegistry&
+registry()
+{
+    static MetricsRegistry* r = new MetricsRegistry();  // exit-safe
+    return *r;
+}
+
+const char*
+kind_name(Kind k)
+{
+    switch (k) {
+      case Kind::Counter: return "counter";
+      case Kind::Gauge: return "gauge";
+      default: return "histogram";
+    }
+}
+
+Metric&
+find_or_create(const std::string& name, Kind kind)
+{
+    MetricsRegistry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    auto it = reg.metrics.find(name);
+    if (it == reg.metrics.end()) {
+        Metric m;
+        m.kind = kind;
+        switch (kind) {
+          case Kind::Counter:
+            m.c = std::make_unique<Counter>();
+            break;
+          case Kind::Gauge:
+            m.g = std::make_unique<Gauge>();
+            break;
+          case Kind::Histogram:
+            m.h = std::make_unique<Histogram>();
+            break;
+        }
+        it = reg.metrics.emplace(name, std::move(m)).first;
+    } else if (it->second.kind != kind) {
+        throw InternalError("metric '" + name + "' is a " +
+                            kind_name(it->second.kind) +
+                            ", requested as " + kind_name(kind));
+    }
+    return it->second;
+}
+
+void
+append_double(std::ostringstream& out, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf;
+}
+
+}  // namespace
+
+Counter&
+counter(const std::string& name)
+{
+    return *find_or_create(name, Kind::Counter).c;
+}
+
+Gauge&
+gauge(const std::string& name)
+{
+    return *find_or_create(name, Kind::Gauge).g;
+}
+
+Histogram&
+histogram(const std::string& name)
+{
+    return *find_or_create(name, Kind::Histogram).h;
+}
+
+std::string
+metrics_json()
+{
+    MetricsRegistry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    std::ostringstream out;
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, m] : reg.metrics) {
+        if (m.kind != Kind::Counter)
+            continue;
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << name << "\":" << m.c->value();
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, m] : reg.metrics) {
+        if (m.kind != Kind::Gauge)
+            continue;
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << name << "\":" << m.g->value();
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, m] : reg.metrics) {
+        if (m.kind != Kind::Histogram)
+            continue;
+        if (!first)
+            out << ",";
+        first = false;
+        HistogramSnapshot s = m.h->snapshot();
+        out << "\"" << name << "\":{\"count\":" << s.count << ",\"sum\":";
+        append_double(out, s.sum);
+        out << ",\"p50\":";
+        append_double(out, s.percentile(0.50));
+        out << ",\"p95\":";
+        append_double(out, s.percentile(0.95));
+        out << ",\"p99\":";
+        append_double(out, s.percentile(0.99));
+        out << ",\"buckets\":[";
+        bool bfirst = true;
+        for (size_t i = 0; i < s.buckets.size(); i++) {
+            if (s.buckets[i] == 0)
+                continue;
+            if (!bfirst)
+                out << ",";
+            bfirst = false;
+            out << "[";
+            append_double(out,
+                          Histogram::bucket_lower(static_cast<int>(i)));
+            out << "," << s.buckets[i] << "]";
+        }
+        out << "]}";
+    }
+    out << "}}";
+    return out.str();
+}
+
+void
+reset_metrics()
+{
+    MetricsRegistry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    for (auto& [name, m] : reg.metrics) {
+        switch (m.kind) {
+          case Kind::Counter: m.c->reset(); break;
+          case Kind::Gauge: m.g->reset(); break;
+          case Kind::Histogram: m.h->reset(); break;
+        }
+    }
+}
+
+}  // namespace obs
+}  // namespace exo2

@@ -1,0 +1,27 @@
+#include "src/obs/obs.h"
+
+#include "src/util/env.h"
+
+namespace exo2 {
+namespace obs {
+
+ObsConfig
+ObsConfig::from_env()
+{
+    ObsConfig c;
+    c.trace_path = util::env_string("EXO2_TRACE", c.trace_path);
+    c.trace_ring_capacity = static_cast<size_t>(util::env_int(
+        "EXO2_TRACE_RING",
+        static_cast<int64_t>(c.trace_ring_capacity), 16, 1 << 24));
+    return c;
+}
+
+const ObsConfig&
+obs_config()
+{
+    static const ObsConfig cfg = ObsConfig::from_env();
+    return cfg;
+}
+
+}  // namespace obs
+}  // namespace exo2

@@ -1,0 +1,47 @@
+#ifndef EXO2_OBS_OBS_H_
+#define EXO2_OBS_OBS_H_
+
+/**
+ * @file
+ * Observability configuration (DESIGN.md §10).
+ *
+ * All EXO2_TRACE* knobs are parsed exactly once, at first use, into
+ * an immutable ObsConfig — consistent with the crash-only service
+ * posture (daemon.h): configuration is read at startup, a bad value
+ * fails loudly there, and nothing re-parses the environment on a hot
+ * path. Reconfiguring means restarting the process.
+ *
+ * Knobs:
+ *   EXO2_TRACE       trace sink path; set = tracing starts enabled
+ *                    and the trace is flushed there at process exit
+ *   EXO2_TRACE_RING  per-thread span ring capacity (default 65536;
+ *                    oldest spans are overwritten when it fills)
+ */
+
+#include <cstddef>
+#include <string>
+
+namespace exo2 {
+namespace obs {
+
+struct ObsConfig
+{
+    /** EXO2_TRACE: where the trace JSON is written at exit ("" = no
+     *  automatic tracing; trace_start() still works). */
+    std::string trace_path;
+    /** EXO2_TRACE_RING: spans retained per thread before the ring
+     *  wraps (dropped spans are counted, never silently lost). */
+    size_t trace_ring_capacity = 65536;
+
+    /** Parse the environment. Throws ConfigError (util/env.h) on a
+     *  malformed value — misconfigured tracing must not half-work. */
+    static ObsConfig from_env();
+};
+
+/** The process-wide config, parsed once on first call. */
+const ObsConfig& obs_config();
+
+}  // namespace obs
+}  // namespace exo2
+
+#endif  // EXO2_OBS_OBS_H_

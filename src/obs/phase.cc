@@ -1,0 +1,58 @@
+#include "src/obs/phase.h"
+
+namespace exo2 {
+namespace obs {
+
+namespace {
+
+thread_local PhaseBreakdown t_breakdown;
+thread_local bool t_collecting = false;
+
+}  // namespace
+
+const char*
+phase_name(Phase p)
+{
+    switch (p) {
+      case Phase::Queue: return "queue";
+      case Phase::Lint: return "lint";
+      case Phase::Cache: return "cache";
+      case Phase::Search: return "search";
+      case Phase::Cjit: return "cjit";
+      case Phase::Validate: return "validate";
+      default: return "other";
+    }
+}
+
+void
+phase_begin_collection()
+{
+    t_breakdown = PhaseBreakdown();
+    t_collecting = true;
+}
+
+bool
+phase_collecting()
+{
+    return t_collecting;
+}
+
+void
+phase_add(Phase p, double seconds)
+{
+    if (!t_collecting)
+        return;
+    t_breakdown.seconds[static_cast<int>(p)] += seconds;
+}
+
+PhaseBreakdown
+phase_end_collection()
+{
+    t_collecting = false;
+    PhaseBreakdown out = t_breakdown;
+    t_breakdown = PhaseBreakdown();
+    return out;
+}
+
+}  // namespace obs
+}  // namespace exo2

@@ -1,0 +1,100 @@
+#ifndef EXO2_OBS_PHASE_H_
+#define EXO2_OBS_PHASE_H_
+
+/**
+ * @file
+ * Per-request phase attribution (DESIGN.md §10): the coarse time
+ * buckets the daemon reports per response (`phase_*_ms` extras) and
+ * the tools print as a breakdown.
+ *
+ * A collection is thread-local: the daemon worker (or a CLI driver)
+ * brackets one request with phase_begin_collection() /
+ * phase_end_collection() and the phase timers inside the engine —
+ * search.cc owns the attribution points — accumulate into it.
+ * phase_add() outside a collection is a no-op, so instrumented code
+ * costs nothing when nobody is asking for a breakdown.
+ *
+ * Phases are disjoint by construction (timers are placed around
+ * non-overlapping regions and never nested); whatever a collection
+ * does not attribute shows up as the gap between total() and the
+ * caller's wall clock.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+namespace exo2 {
+namespace obs {
+
+enum class Phase
+{
+    Queue = 0,  ///< admission -> dequeue (daemon only)
+    Lint,       ///< static lint gate / admission lint
+    Cache,      ///< persistent-cache probe, replay, store
+    Search,     ///< beam rounds, restarts, cost simulation
+    Cjit,       ///< JIT build + sandboxed measurement
+    Validate,   ///< tri-oracle checks
+    Other,      ///< attributed but uncategorized
+};
+
+constexpr int kNumPhases = 7;
+
+/** Lowercase stable name ("queue", "lint", ...). */
+const char* phase_name(Phase p);
+
+struct PhaseBreakdown
+{
+    double seconds[kNumPhases] = {};
+
+    double of(Phase p) const { return seconds[static_cast<int>(p)]; }
+    double total() const
+    {
+        double t = 0;
+        for (double s : seconds)
+            t += s;
+        return t;
+    }
+};
+
+/** Start accumulating on this thread (zeroes any previous state). */
+void phase_begin_collection();
+
+/** Whether this thread is inside a collection. */
+bool phase_collecting();
+
+/** Charge `seconds` to `p` (no-op outside a collection). */
+void phase_add(Phase p, double seconds);
+
+/** Stop and return what was accumulated. */
+PhaseBreakdown phase_end_collection();
+
+/** RAII region timer: charges its lifetime to one phase. Do not nest
+ *  PhaseTimers — phases are disjoint regions, not a stack. */
+class PhaseTimer
+{
+  public:
+    explicit PhaseTimer(Phase p)
+        : p_(p), active_(phase_collecting()),
+          t0_(std::chrono::steady_clock::now())
+    {
+    }
+    ~PhaseTimer()
+    {
+        if (active_)
+            phase_add(p_, std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0_)
+                              .count());
+    }
+    PhaseTimer(const PhaseTimer&) = delete;
+    PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  private:
+    Phase p_;
+    bool active_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace obs
+}  // namespace exo2
+
+#endif  // EXO2_OBS_PHASE_H_

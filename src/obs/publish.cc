@@ -1,0 +1,58 @@
+#include "src/obs/metrics.h"
+
+#include "src/cache/cache.h"
+#include "src/cursor/accel.h"
+#include "src/machine/cost_sim.h"
+#include "src/verify/cjit.h"
+#include "src/verify/sandbox.h"
+
+namespace exo2 {
+namespace obs {
+
+/** One sweep copies every legacy stats struct into registry gauges so
+ *  metrics_json() is the single pane of glass the daemon's op=metrics
+ *  serves. Gauges (not counters) because the sources are themselves
+ *  monotonic totals owned elsewhere — this mirrors, it does not own. */
+void
+publish_engine_stats()
+{
+    CursorAccelStats cs = cursor_accel_stats();
+    gauge("cursor.fwd_hits").set(static_cast<int64_t>(cs.fwd_hits));
+    gauge("cursor.fwd_misses").set(static_cast<int64_t>(cs.fwd_misses));
+    gauge("cursor.index_hits").set(static_cast<int64_t>(cs.index_hits));
+    gauge("cursor.index_misses")
+        .set(static_cast<int64_t>(cs.index_misses));
+    gauge("cursor.index_pruned")
+        .set(static_cast<int64_t>(cs.index_pruned));
+
+    CostSimCacheStats ss = cost_sim_cache_stats();
+    gauge("costsim.cache_hits").set(static_cast<int64_t>(ss.hits));
+    gauge("costsim.cache_misses").set(static_cast<int64_t>(ss.misses));
+
+    cache::CacheStats ps = cache::cache_stats();
+    gauge("cache.tune_hits").set(static_cast<int64_t>(ps.tune_hits));
+    gauge("cache.tune_misses").set(static_cast<int64_t>(ps.tune_misses));
+    gauge("cache.tune_stores").set(static_cast<int64_t>(ps.tune_stores));
+    gauge("cache.tune_store_failures")
+        .set(static_cast<int64_t>(ps.tune_store_failures));
+    gauge("cache.tune_corrupt")
+        .set(static_cast<int64_t>(ps.tune_corrupt));
+    gauge("cache.tune_stale").set(static_cast<int64_t>(ps.tune_stale));
+    gauge("cache.jit_hits").set(static_cast<int64_t>(ps.jit_hits));
+    gauge("cache.jit_misses").set(static_cast<int64_t>(ps.jit_misses));
+    gauge("cache.jit_stores").set(static_cast<int64_t>(ps.jit_stores));
+    gauge("cache.jit_store_failures")
+        .set(static_cast<int64_t>(ps.jit_store_failures));
+    gauge("cache.jit_corrupt").set(static_cast<int64_t>(ps.jit_corrupt));
+    gauge("cache.jit_stale").set(static_cast<int64_t>(ps.jit_stale));
+    gauge("cache.tmp_swept").set(static_cast<int64_t>(ps.tmp_swept));
+
+    gauge("cjit.isa_downgrades")
+        .set(static_cast<int64_t>(verify::isa_downgrades().size()));
+    gauge("faults.fired")
+        .set(static_cast<int64_t>(
+            verify::fault_injection_counts().total()));
+}
+
+}  // namespace obs
+}  // namespace exo2

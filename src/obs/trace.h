@@ -1,0 +1,158 @@
+#ifndef EXO2_OBS_TRACE_H_
+#define EXO2_OBS_TRACE_H_
+
+/**
+ * @file
+ * Thread-safe span tracer with Chrome trace-event / Perfetto JSON
+ * export (DESIGN.md §10).
+ *
+ * Usage — one macro, RAII-scoped:
+ *
+ *     void lint_proc(...) {
+ *         EXO2_SPAN("lint.proc", {{"proc", p->name()}});
+ *         ...
+ *     }
+ *
+ * Span names follow `subsystem.verb` ("tune.round", "cjit.compile",
+ * "serve.request") and MUST be string literals — the tracer stores
+ * the pointer, not a copy. Dynamic values go in the args list.
+ *
+ * Cost model: when tracing is off the macro is one relaxed atomic
+ * load and a branch; the arguments are not evaluated and nothing is
+ * allocated (test_obs.cc asserts both). When on, each completed span
+ * is appended to a per-thread ring buffer (per-ring mutex, touched
+ * only by its own thread and the flusher), so tracing never contends
+ * across threads on the hot path. Rings wrap: a thread keeps its most
+ * recent EXO2_TRACE_RING spans and `trace_dropped()` counts the rest.
+ *
+ * Export: `EXO2_TRACE=out.json` starts tracing at process start and
+ * flushes at exit; `trace_start`/`trace_flush` do the same under
+ * program control. The JSON loads directly in https://ui.perfetto.dev
+ * (complete "X" events; nesting is reconstructed from timestamps per
+ * thread track).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace exo2 {
+namespace obs {
+
+namespace trace_internal {
+extern std::atomic<bool> g_on;
+}
+
+/** One hot relaxed load: the EXO2_SPAN fast path when tracing is off. */
+inline bool
+trace_enabled()
+{
+    return trace_internal::g_on.load(std::memory_order_relaxed);
+}
+
+/** One span argument. Converting constructors let call sites write
+ *  `{{"digest", d}, {"round", 3}}` for strings and numbers alike. */
+struct TraceArg
+{
+    const char* key;    ///< string literal, like the span name
+    std::string value;
+    bool quoted = true; ///< false: emit raw (numbers)
+
+    TraceArg(const char* k, std::string v) : key(k), value(std::move(v)) {}
+    TraceArg(const char* k, const char* v) : key(k), value(v) {}
+    TraceArg(const char* k, int v)
+        : key(k), value(std::to_string(v)), quoted(false) {}
+    TraceArg(const char* k, long v)
+        : key(k), value(std::to_string(v)), quoted(false) {}
+    TraceArg(const char* k, long long v)
+        : key(k), value(std::to_string(v)), quoted(false) {}
+    TraceArg(const char* k, unsigned v)
+        : key(k), value(std::to_string(v)), quoted(false) {}
+    TraceArg(const char* k, unsigned long v)
+        : key(k), value(std::to_string(v)), quoted(false) {}
+    TraceArg(const char* k, unsigned long long v)
+        : key(k), value(std::to_string(v)), quoted(false) {}
+    TraceArg(const char* k, double v) : key(k), quoted(false)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        value = buf;
+    }
+};
+
+/** RAII span. Declared unconditionally by EXO2_SPAN; begin() runs only
+ *  when tracing is on, so a dormant Span is a few POD stores. */
+class Span
+{
+  public:
+    Span() = default;
+    ~Span()
+    {
+        if (active_)
+            finish();
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    void begin(const char* name);
+    void begin(const char* name, std::initializer_list<TraceArg> args);
+
+  private:
+    void finish();
+
+    bool active_ = false;
+    const char* name_ = nullptr;
+    uint64_t t0_ns_ = 0;
+    std::vector<TraceArg> args_;
+};
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+/** Enable recording. `path` is remembered as the flush sink (also
+ *  flushed at process exit when set via EXO2_TRACE); "" records to
+ *  memory only. `ring_capacity` 0 keeps the current/default size.
+ *  Already-recorded spans are kept. */
+void trace_start(const std::string& path = "", size_t ring_capacity = 0);
+
+/** Stop recording (spans already captured are kept for flushing). */
+void trace_stop();
+
+/** Drop every recorded span and zero the drop counter. */
+void trace_clear();
+
+/** Spans currently retained across all thread rings. */
+uint64_t trace_span_count();
+
+/** Spans overwritten by ring wrap since the last clear. */
+uint64_t trace_dropped();
+
+/** Render everything recorded so far as Chrome trace-event JSON. */
+std::string trace_json();
+
+/** trace_json() -> `path` via the atomic file writer. False on I/O
+ *  failure. */
+bool trace_flush(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// The macro
+// ---------------------------------------------------------------------------
+
+#define EXO2_OBS_CONCAT_(a, b) a##b
+#define EXO2_OBS_CONCAT(a, b) EXO2_OBS_CONCAT_(a, b)
+
+/** Open a span for the rest of the enclosing scope. Arguments are
+ *  evaluated only when tracing is enabled. One use per source line. */
+#define EXO2_SPAN(...)                                                    \
+    ::exo2::obs::Span EXO2_OBS_CONCAT(exo2_obs_span_, __LINE__);          \
+    if (::exo2::obs::trace_enabled())                                     \
+    EXO2_OBS_CONCAT(exo2_obs_span_, __LINE__).begin(__VA_ARGS__)
+
+}  // namespace obs
+}  // namespace exo2
+
+#endif  // EXO2_OBS_TRACE_H_

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 
@@ -16,6 +17,9 @@
 #include "src/kernels/image.h"
 #include "src/lint/lint.h"
 #include "src/machine/machine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/phase.h"
+#include "src/obs/trace.h"
 #include "src/tune/tune.h"
 #include "src/util/env.h"
 #include "src/verify/oracle.h"
@@ -93,6 +97,36 @@ attach_lint(ServeResponse* resp, const lint::LintReport& rep)
                                  std::to_string(rep.obligations);
     resp->extra["lint_safe"] = rep.proven_safe() ? "1" : "0";
     resp->extra["lint"] = rep.to_json();
+}
+
+/** Millisecond values travel with fixed sub-microsecond precision
+ *  (extras are text; std::to_string's %f default is fine for ms). */
+std::string
+fmt_ms(double ms)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", ms);
+    return buf;
+}
+
+/** Attach one request's phase breakdown as phase_*_ms extras and feed
+ *  the registry's latency histograms, so the same numbers surface in
+ *  the response, op=metrics, and op=stats percentiles. */
+void
+attach_phases(ServeResponse* resp, const obs::PhaseBreakdown& pb)
+{
+    static const obs::Phase kPhases[] = {
+        obs::Phase::Queue,    obs::Phase::Lint,  obs::Phase::Cache,
+        obs::Phase::Search,   obs::Phase::Cjit,  obs::Phase::Validate,
+    };
+    for (obs::Phase ph : kPhases) {
+        double ms = pb.of(ph) * 1000.0;
+        resp->extra[std::string("phase_") + obs::phase_name(ph) +
+                    "_ms"] = fmt_ms(ms);
+        obs::histogram(std::string("serve.phase.") +
+                       obs::phase_name(ph) + "_ms")
+            .observe(ms);
+    }
 }
 
 /** Transient faults are worth a bounded retry; deterministic ones
@@ -253,8 +287,20 @@ Daemon::stop()
 ServeStats
 Daemon::stats() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    return stats_;
+    ServeStats s;
+    s.connections = stats_.connections.load(std::memory_order_relaxed);
+    s.requests = stats_.requests.load(std::memory_order_relaxed);
+    s.completed = stats_.completed.load(std::memory_order_relaxed);
+    s.degraded = stats_.degraded.load(std::memory_order_relaxed);
+    s.rejected = stats_.rejected.load(std::memory_order_relaxed);
+    s.errors = stats_.errors.load(std::memory_order_relaxed);
+    s.retries = stats_.retries.load(std::memory_order_relaxed);
+    s.queue_peak = stats_.queue_peak.load(std::memory_order_relaxed);
+    s.deadline_expired =
+        stats_.deadline_expired.load(std::memory_order_relaxed);
+    s.lint_rejects =
+        stats_.lint_rejects.load(std::memory_order_relaxed);
+    return s;
 }
 
 void
@@ -272,10 +318,7 @@ Daemon::listener_main()
         if (fd < 0)
             continue;
         auto conn = std::make_shared<Conn>(fd);
-        {
-            std::lock_guard<std::mutex> lk(mu_);
-            stats_.connections++;
-        }
+        stats_.connections.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lk(conns_mu_);
         conns_.emplace_back(
             [this, conn] { connection_main(conn); });
@@ -303,24 +346,29 @@ Daemon::connection_main(std::shared_ptr<Conn> conn)
         ServeRequest req;
         try {
             req = ServeRequest::from_wire(payload);
-            std::lock_guard<std::mutex> lk(mu_);
-            stats_.requests++;
+            stats_.requests.fetch_add(1, std::memory_order_relaxed);
         } catch (const std::exception& e) {
             ServeResponse resp;
             resp.status = "error";
             resp.detail = e.what();
             send_response(conn, resp);
-            {
-                std::lock_guard<std::mutex> lk(mu_);
-                stats_.errors++;
-            }
+            stats_.errors.fetch_add(1, std::memory_order_relaxed);
             continue;
+        }
+        // Telemetry needs every request attributable: a frame that
+        // arrives without an id is assigned one ("r<n>"), echoed back
+        // in the request_id extra (the id field itself stays an echo
+        // of what the client sent).
+        if (req.id.empty()) {
+            req.id = "r" + std::to_string(req_seq_.fetch_add(
+                               1, std::memory_order_relaxed) +
+                           1);
         }
 
         // Control ops answer inline: they must work even when the
         // queue is saturated — that is when you need `stats` most.
         if (req.op == "ping" || req.op == "stats" ||
-            req.op == "shutdown") {
+            req.op == "metrics" || req.op == "shutdown") {
             ServeResponse resp = process(req, now_seconds());
             send_response(conn, resp);
             if (req.op == "shutdown")
@@ -344,11 +392,16 @@ Daemon::connection_main(std::shared_ptr<Conn> conn)
                 job.conn = conn;
                 job.admitted = now_seconds();
                 queue_.push_back(std::move(job));
-                if (queue_.size() > stats_.queue_peak)
-                    stats_.queue_peak = queue_.size();
+                uint64_t depth = queue_.size();
+                uint64_t peak = stats_.queue_peak.load(
+                    std::memory_order_relaxed);
+                while (depth > peak &&
+                       !stats_.queue_peak.compare_exchange_weak(
+                           peak, depth, std::memory_order_relaxed)) {
+                }
                 admitted = true;
             } else {
-                stats_.rejected++;
+                stats_.rejected.fetch_add(1, std::memory_order_relaxed);
             }
         }
         if (admitted) {
@@ -386,7 +439,21 @@ Daemon::worker_main()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        ServeResponse resp = process(job.req, job.admitted);
+        // One collection per request: queue wait measured here, the
+        // engine phases (lint/cache/search/cjit/validate) accumulated
+        // by the timers inside autotune and friends.
+        obs::phase_begin_collection();
+        obs::phase_add(obs::Phase::Queue,
+                       now_seconds() - job.admitted);
+        ServeResponse resp;
+        {
+            EXO2_SPAN("serve.request",
+                      {{"rid", job.req.id}, {"op", job.req.op}});
+            resp = process(job.req, job.admitted);
+        }
+        obs::PhaseBreakdown pb = obs::phase_end_collection();
+        attach_phases(&resp, pb);
+        obs::histogram("serve.latency_ms").observe(resp.elapsed_ms);
         send_response(job.conn, resp);
     }
 }
@@ -432,6 +499,19 @@ Daemon::process(const ServeRequest& req, double admitted)
             put("jit_cache_corrupt", cs.jit_corrupt);
             put("tmp_swept", cs.tmp_swept);
             put("faults_fired", fc.total());
+            obs::HistogramSnapshot lat =
+                obs::histogram("serve.latency_ms").snapshot();
+            resp.extra["latency_count"] = std::to_string(lat.count);
+            resp.extra["latency_p50_ms"] = fmt_ms(lat.percentile(0.50));
+            resp.extra["latency_p95_ms"] = fmt_ms(lat.percentile(0.95));
+            resp.extra["latency_p99_ms"] = fmt_ms(lat.percentile(0.99));
+        } else if (req.op == "metrics") {
+            // The whole registry as one JSON value: engine gauges
+            // refreshed first so counters, caches, latency and phase
+            // histograms arrive in a single snapshot.
+            obs::publish_engine_stats();
+            resp.status = "ok";
+            resp.extra["metrics"] = obs::metrics_json();
         } else if (req.op == "tune") {
             resp = process_tune(req, admitted);
         } else if (req.op == "schedule") {
@@ -440,8 +520,9 @@ Daemon::process(const ServeRequest& req, double admitted)
             resp = process_lint(req);
         } else {
             resp.status = "error";
-            resp.detail = "unknown op '" + req.op +
-                          "' (ping|stats|tune|schedule|lint|shutdown)";
+            resp.detail =
+                "unknown op '" + req.op +
+                "' (ping|stats|metrics|tune|schedule|lint|shutdown)";
         }
     } catch (const std::exception& e) {
         resp.status = "error";
@@ -451,18 +532,16 @@ Daemon::process(const ServeRequest& req, double admitted)
         resp.detail = "unknown exception";
     }
     resp.id = req.id;
+    resp.extra["request_id"] = req.id;
     resp.elapsed_ms = (now_seconds() - t0) * 1000.0;
-    {
-        std::lock_guard<std::mutex> lk(mu_);
-        if (resp.status == "ok")
-            stats_.completed++;
-        else if (resp.status == "degraded")
-            stats_.degraded++;
-        else if (resp.status == "rejected")
-            stats_.rejected++;
-        else
-            stats_.errors++;
-    }
+    if (resp.status == "ok")
+        stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    else if (resp.status == "degraded")
+        stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+    else if (resp.status == "rejected")
+        stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    else
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
     return resp;
 }
 
@@ -498,8 +577,7 @@ Daemon::process_tune(const ServeRequest& req, double admitted)
         // Bottom of the degradation ladder: no search budget left.
         // A cached winner still replays in milliseconds; otherwise
         // answer with the naive schedule. Weaker, never an error.
-        std::lock_guard<std::mutex> lk(mu_);
-        stats_.deadline_expired++;
+        stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
     }
     if (budget > 0) {
         opts.deadline_seconds =
@@ -526,10 +604,7 @@ Daemon::process_tune(const ServeRequest& req, double admitted)
             double back_ms =
                 cfg_.retry_backoff_ms * static_cast<double>(1 << attempt);
             attempt++;
-            {
-                std::lock_guard<std::mutex> lk(mu_);
-                stats_.retries++;
-            }
+            stats_.retries.fetch_add(1, std::memory_order_relaxed);
             std::this_thread::sleep_for(std::chrono::duration<double>(
                 back_ms / 1000.0));
         }
@@ -599,10 +674,7 @@ Daemon::process_schedule(const ServeRequest& req)
     lint::LintReport lrep = lint::lint_proc(scheduled);
     attach_lint(&resp, lrep);
     if (lrep.has_errors()) {
-        {
-            std::lock_guard<std::mutex> slk(mu_);
-            stats_.lint_rejects++;
-        }
+        stats_.lint_rejects.fetch_add(1, std::memory_order_relaxed);
         resp.status = "error";
         resp.detail =
             "schedule rejected by lint: " + lrep.to_text();

@@ -84,7 +84,10 @@ struct ServeConfig
     static ServeConfig from_env();
 };
 
-/** Monotonic service counters (stats() and the op=stats response). */
+/** Monotonic service counters (stats() and the op=stats response).
+ *  A point-in-time copy: the live counters are lock-free atomics, so
+ *  sampling them (bench_serve does, mid-run) never touches the queue
+ *  mutex or blocks a worker. */
 struct ServeStats
 {
     uint64_t connections = 0;
@@ -130,6 +133,7 @@ class Daemon
     bool running() const { return running_.load(); }
     bool draining() const { return draining_.load(); }
     const ServeConfig& config() const { return cfg_; }
+    /** Atomic snapshot of the live counters; never blocks a worker. */
     ServeStats stats() const;
 
   private:
@@ -152,16 +156,37 @@ class Daemon
     void send_response(const std::shared_ptr<Conn>& conn,
                        const ServeResponse& resp);
 
+    /** Lock-free mirror of ServeStats: every counter bumps through a
+     *  relaxed atomic, so op=stats and bench sampling are wait-free
+     *  with respect to the worker queue (whose mutex now guards only
+     *  the queue). */
+    struct AtomicStats
+    {
+        std::atomic<uint64_t> connections{0};
+        std::atomic<uint64_t> requests{0};
+        std::atomic<uint64_t> completed{0};
+        std::atomic<uint64_t> degraded{0};
+        std::atomic<uint64_t> rejected{0};
+        std::atomic<uint64_t> errors{0};
+        std::atomic<uint64_t> retries{0};
+        std::atomic<uint64_t> queue_peak{0};
+        std::atomic<uint64_t> deadline_expired{0};
+        std::atomic<uint64_t> lint_rejects{0};
+    };
+
     ServeConfig cfg_;
     int listen_fd_ = -1;
 
     std::atomic<bool> running_{false};
     std::atomic<bool> draining_{false};
 
-    mutable std::mutex mu_;           ///< queue + stats
+    mutable std::mutex mu_;           ///< queue only
     std::condition_variable queue_cv_;
     std::deque<Job> queue_;
-    ServeStats stats_;
+    AtomicStats stats_;
+    /** Generates "r<n>" request ids for frames that arrive without
+     *  one, so telemetry can always attribute a request. */
+    std::atomic<uint64_t> req_seq_{0};
 
     /** The scheduling engine (analysis memo caches, cost-sim cache,
      *  interning tables) is single-threaded by design (ROADMAP);

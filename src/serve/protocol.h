@@ -17,8 +17,10 @@
  * degrades instead of failing.
  *
  * Requests (client -> daemon):
- *   id       echo token, returned verbatim in the response
- *   op       ping | stats | tune | schedule | lint | shutdown
+ *   id       echo token, returned verbatim in the response; when
+ *            omitted the daemon assigns one ("r<n>") and reports it
+ *            in the request_id extra
+ *   op       ping | stats | metrics | tune | schedule | lint | shutdown
  *   kernel   kernel name (tune/schedule/lint), e.g. "saxpy", "sgemm"
  *   machine  machine name (default "AVX2")
  *   sizes    canonical size env, e.g. "K=48,M=48,N=48"
@@ -33,11 +35,20 @@
  *   detail   human-readable context (error cause, rejection reason)
  *   retry_after_ms  backpressure hint, set when status=rejected
  *   script / cost / naive_cost / validated / from_cache / elapsed_ms
- *   (op=stats responses carry counters as extra key=value pairs;
- *   op=lint — and op=schedule, which lints at admission — carry the
- *   static-analysis verdict in extra: lint_errors/lint_warnings/
- *   lint_infos/lint_proven/lint_safe plus the full diagnostic list
- *   as JSON under `lint`)
+ *   (op=stats responses carry counters as extra key=value pairs plus
+ *   latency_count and latency_p50/p95/p99_ms percentiles; op=metrics
+ *   returns the whole observability registry — counters, gauges,
+ *   latency and per-phase histograms — as one JSON value under
+ *   `metrics`; op=lint — and op=schedule, which lints at admission —
+ *   carry the static-analysis verdict in extra: lint_errors/
+ *   lint_warnings/lint_infos/lint_proven/lint_safe plus the full
+ *   diagnostic list as JSON under `lint`)
+ *
+ * Telemetry extras on every response: request_id (the request's id,
+ *   daemon-assigned when the client sent none) and — for queued work
+ *   (tune/schedule/lint) — a per-phase time breakdown
+ *   phase_{queue,lint,cache,search,cjit,validate}_ms attributing
+ *   where the request's wall clock went (DESIGN.md §10).
  *
  * Every response is one of exactly four statuses; "the daemon died"
  * is not among them. `rejected` means the bounded queue (or a drain
@@ -93,7 +104,7 @@ std::map<std::string, std::string> decode_kv(const std::string& text);
 struct ServeRequest
 {
     std::string id;
-    std::string op;        ///< ping|stats|tune|schedule|lint|shutdown
+    std::string op;  ///< ping|stats|metrics|tune|schedule|lint|shutdown
     std::string kernel;
     std::string machine = "AVX2";
     std::string sizes;     ///< "K=48,M=48,N=48"

@@ -8,6 +8,7 @@
 #include "src/ir/builder.h"
 #include "src/ir/errors.h"
 #include "src/machine/cost_sim.h"
+#include "src/obs/trace.h"
 #include "src/primitives/primitives.h"
 #include "src/sched/blas.h"
 #include "src/sched/combinators.h"
@@ -239,6 +240,7 @@ std::vector<TuneAction>
 enumerate_actions(const ProcPtr& p, const Machine& machine,
                   ScalarType precision, const TuneSpace& space)
 {
+    EXO2_SPAN("tune.enumerate", {{"proc", p->name()}});
     Sites w = walk(p);
     uint64_t base_digest = proc_digest(p);
     std::vector<TuneAction> out;

@@ -8,6 +8,8 @@
 #include "src/cache/cache.h"
 #include "src/ir/errors.h"
 #include "src/lint/lint.h"
+#include "src/obs/phase.h"
+#include "src/obs/trace.h"
 #include "src/tune/actions.h"
 #include "src/tune/tune.h"
 #include "src/util/env.h"
@@ -134,6 +136,7 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
         }
     }
 
+    EXO2_SPAN("tune.autotune", {{"proc", p->name()}});
     TuneResult result;
     CostSimCacheStats cache0 = cost_sim_cache_stats();
 
@@ -156,24 +159,36 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
     cache::TuneKey tkey;
     if (tcache.enabled()) {
         tkey = tune_cache_key(p, machine, opts.tune_sizes);
-        if (auto hit = tcache.probe(tkey)) {
+        auto hit = [&] {
+            obs::PhaseTimer pt(obs::Phase::Cache);
+            EXO2_SPAN("tune.cache_probe", {{"proc", p->name()}});
+            return tcache.probe(tkey);
+        }();
+        if (hit) {
             try {
-                std::vector<FuzzStep> script =
-                    verify::script_from_string(hit->script_text);
-                ProcPtr q = replay_script(p, script);
                 TuneResult r;
-                r.best = q;
-                r.script = std::move(script);
-                r.cost =
-                    simulate_cost_named(q, opts.tune_sizes, opts.cost)
-                        .cycles;
-                r.naive_cost =
-                    simulate_cost_named(p, opts.tune_sizes, opts.cost)
-                        .cycles;
-                r.from_cache = true;
+                {
+                    obs::PhaseTimer pt(obs::Phase::Cache);
+                    EXO2_SPAN("tune.cache_replay",
+                              {{"proc", p->name()}});
+                    std::vector<FuzzStep> script =
+                        verify::script_from_string(hit->script_text);
+                    ProcPtr q = replay_script(p, script);
+                    r.best = q;
+                    r.script = std::move(script);
+                    r.cost = simulate_cost_named(q, opts.tune_sizes,
+                                                 opts.cost)
+                                 .cycles;
+                    r.naive_cost = simulate_cost_named(
+                                       p, opts.tune_sizes, opts.cost)
+                                       .cycles;
+                    r.from_cache = true;
+                }
                 if (opts.validate) {
+                    obs::PhaseTimer pt(obs::Phase::Validate);
+                    EXO2_SPAN("tune.validate", {{"source", "cache"}});
                     verify::TriOracleReport rep =
-                        verify::tri_oracle_check(p, q,
+                        verify::tri_oracle_check(p, r.best,
                                                  opts.validate_sizes,
                                                  opts.validate_seed);
                     if (!rep.ok)
@@ -281,10 +296,13 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
     };
 
     // -- Beam search ---------------------------------------------------
+    {
+    obs::PhaseTimer phase_search(obs::Phase::Search);
     std::vector<State> beam{init};
     double best_cost = init.cost;
     int stall = 0;
     for (int round = 1; round <= opts.max_rounds; round++) {
+        EXO2_SPAN("tune.round", {{"round", round}});
         if (past_deadline()) {
             result.degraded = true;
             break;
@@ -315,6 +333,7 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
 
     // -- Random restarts: noisy greedy descents ------------------------
     for (int r = 1; r <= opts.random_restarts; r++) {
+        EXO2_SPAN("tune.restart", {{"restart", r}});
         if (past_deadline()) {
             result.degraded = true;
             break;
@@ -358,6 +377,7 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
                       << ": reached " << cur.cost << " cycles\n";
         }
     }
+    }  // phase_search
 
     // -- Static lint gate (DESIGN.md §9) --------------------------------
     // Every pool candidate is linted before the cjit/sandbox step;
@@ -370,6 +390,9 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
     std::vector<State> ranked = pool.states();
     std::unordered_set<uint64_t> lint_rejected;
     if (opts.lint) {
+        obs::PhaseTimer phase_lint(obs::Phase::Lint);
+        EXO2_SPAN("tune.lint_gate",
+                  {{"candidates", static_cast<int>(ranked.size())}});
         auto lint_t0 = std::chrono::steady_clock::now();
         for (const State& st : ranked) {
             lint::LintReport lr = lint::lint_proc(st.proc);
@@ -404,6 +427,7 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
     // -- JIT-measured refinement ---------------------------------------
     std::vector<double> measured(ranked.size(), -1.0);
     if (opts.jit_topk > 0) {
+        obs::PhaseTimer phase_cjit(obs::Phase::Cjit);
         size_t k = std::min(static_cast<size_t>(opts.jit_topk),
                             ranked.size());
         std::vector<std::pair<double, size_t>> order;
@@ -419,6 +443,8 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
             if (lint_bad(ranked[i]))
                 continue;  // pruned before the compile (counted above)
             try {
+                EXO2_SPAN("tune.jit_measure",
+                          {{"rank", static_cast<int>(i)}});
                 verify::CompiledProc cp(ranked[i].proc);
                 verify::OracleInputs in = verify::make_inputs(
                     ranked[i].proc, opts.measure_sizes, 0x7777);
@@ -512,6 +538,7 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
         }
     }
     if (opts.validate) {
+        obs::PhaseTimer phase_validate(obs::Phase::Validate);
         bool found = false;
         size_t limit =
             result.degraded ? std::min<size_t>(1, ranked.size())
@@ -519,6 +546,8 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
         for (size_t i = 0; i < limit; i++) {
             if (lint_bad(ranked[i]))
                 continue;  // statically unsafe: never a winner
+            EXO2_SPAN("tune.validate",
+                      {{"candidate", static_cast<int>(i)}});
             verify::TriOracleReport rep = verify::tri_oracle_check(
                 p, ranked[i].proc, opts.validate_sizes,
                 opts.validate_seed);
@@ -553,6 +582,8 @@ autotune(const ProcPtr& p, const Machine& machine, const TuneOpts& opts_in)
     // degraded (deadline-cut) result would poison every later request
     // for the same key with a weaker schedule.
     if (tcache.enabled() && result.validated && !result.degraded) {
+        obs::PhaseTimer phase_store(obs::Phase::Cache);
+        EXO2_SPAN("tune.cache_store", {{"proc", p->name()}});
         cache::TuneEntry entry;
         entry.script_text = verify::script_to_string(result.script);
         entry.cost = result.cost;

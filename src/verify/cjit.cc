@@ -17,6 +17,7 @@
 #include "src/cache/cache.h"
 #include "src/codegen/c_codegen.h"
 #include "src/ir/errors.h"
+#include "src/obs/trace.h"
 #include "src/util/env.h"
 #include "src/verify/marshal.h"
 
@@ -329,6 +330,7 @@ CompiledProc::CompiledProc(const ProcPtr& p)
 
 CompiledProc::CompiledProc(const ProcPtr& p, NativeIsa isa) : proc_(p)
 {
+    EXO2_SPAN("cjit.build", {{"proc", p->name()}});
     // Requests the CPU cannot execute degrade down the chain (the old
     // behavior threw): compiling for a missing ISA would SIGILL on the
     // first run, so fall back and record it.
@@ -375,7 +377,11 @@ CompiledProc::CompiledProc(const ProcPtr& p, NativeIsa isa) : proc_(p)
         CodegenOpts opts;
         opts.native_vector_bytes = avail;
         opts.required_vector_bytes = required;  // avoid a second walk
-        src_ = codegen_c_unit(p, opts);
+        {
+            EXO2_SPAN("cjit.codegen",
+                      {{"isa", native_isa_name(isa_)}});
+            src_ = codegen_c_unit(p, opts);
+        }
 
         // Execution-fault injection is a codegen mode: the planted
         // trap/spin rides through the real compile+load pipeline.
@@ -449,6 +455,7 @@ CompiledProc::CompiledProc(const ProcPtr& p, NativeIsa isa) : proc_(p)
         from_cache_ = false;
         std::string load_path = so_path;
         if (ccache.enabled() && cache_probe_ok) {
+            EXO2_SPAN("cjit.cache_probe");
             if (auto hit = ccache.probe(ckey)) {
                 load_path = *hit;
                 from_cache_ = true;
@@ -466,6 +473,8 @@ CompiledProc::CompiledProc(const ProcPtr& p, NativeIsa isa) : proc_(p)
                 co.fault.exit_code = 1;
                 co.fault.detail = "injected native-ISA compile failure";
             } else {
+                EXO2_SPAN("cjit.compile",
+                          {{"isa", native_isa_name(isa_)}});
                 co = compile_unit(argv, err_path);
             }
             if (!co.ok) {
@@ -487,8 +496,10 @@ CompiledProc::CompiledProc(const ProcPtr& p, NativeIsa isa) : proc_(p)
                     "\n--- generated source ---\n" + src_;
                 throw FaultError(last_fault);
             }
-            if (ccache.enabled())
+            if (ccache.enabled()) {
+                EXO2_SPAN("cjit.cache_store");
                 ccache.store(ckey, so_path);
+            }
         }
 
         if (fault_should_inject(FaultSite::DlopenFail)) {
@@ -497,7 +508,10 @@ CompiledProc::CompiledProc(const ProcPtr& p, NativeIsa isa) : proc_(p)
             // path.
             load_path = c_path;
         }
-        handle_ = dlopen(load_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+        {
+            EXO2_SPAN("cjit.dlopen");
+            handle_ = dlopen(load_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+        }
         const char* err = nullptr;
         if (handle_) {
             entry_ = reinterpret_cast<void (*)(void**)>(

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/ir/errors.h"
+#include "src/obs/trace.h"
 #include "src/verify/cjit.h"
 
 namespace exo2 {
@@ -189,6 +190,7 @@ TriOracleReport
 tri_oracle_check(const ProcPtr& original, const ProcPtr& scheduled,
                  const SizeEnv& env, uint64_t seed, double tol_scale)
 {
+    EXO2_SPAN("verify.tri_oracle", {{"proc", scheduled->name()}});
     TriOracleReport rep;
 
     if (!preds_hold(original, env)) {

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "src/obs/trace.h"
 #include "src/util/env.h"
 #include "src/util/rng.h"
 #include "src/verify/marshal.h"
@@ -191,6 +192,8 @@ sandbox_call(void (*entry)(void**), const ProcPtr& proc,
              const std::vector<RunArg>& args, int iters,
              const SandboxLimits& limits)
 {
+    EXO2_SPAN("sandbox.run",
+              {{"proc", proc->name()}, {"iters", iters}});
     SandboxOutcome out;
     ArgArena arena(proc, args);
 
